@@ -1,0 +1,116 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (§5.2). Each benchmark re-runs the
+// corresponding experiment from internal/exp and reports, alongside Go's
+// wall-clock ns/op, the simulated virtual-time seconds (vt_s) that stand in
+// for the paper's measured seconds, plus key physical counters. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The workloads are scaled down (see internal/exp) so the full suite
+// completes in minutes; the BENCH_SCALE environment variable overrides the
+// scale factor.
+package repro_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.3
+}
+
+// runFigure executes one experiment per iteration and reports the total
+// virtual seconds across all of its series as the vt_s metric.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	r, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	scale := benchScale()
+	var vt float64
+	for i := 0; i < b.N; i++ {
+		e, err := r.Run(scale)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		vt = 0
+		for _, s := range e.Series {
+			for _, p := range s.Points {
+				vt += p.Seconds
+			}
+		}
+	}
+	b.ReportMetric(vt, "vt_s")
+}
+
+// BenchmarkFig4MemorySweep regenerates Figure 4 (left): time vs middleware
+// memory, caching vs no caching.
+func BenchmarkFig4MemorySweep(b *testing.B) { runFigure(b, "fig4-left") }
+
+// BenchmarkFig4DataSize regenerates Figure 4 (right): time vs data size at
+// two memory levels.
+func BenchmarkFig4DataSize(b *testing.B) { runFigure(b, "fig4-right") }
+
+// BenchmarkFig5aLimitedCCMemory regenerates Figure 5a: constrained counts-
+// table memory forces multiple scans per frontier.
+func BenchmarkFig5aLimitedCCMemory(b *testing.B) { runFigure(b, "fig5a") }
+
+// BenchmarkFig5bRows regenerates Figure 5b: scalability with the number of
+// rows.
+func BenchmarkFig5bRows(b *testing.B) { runFigure(b, "fig5b") }
+
+// BenchmarkFig6FileStaging regenerates Figure 6: the four file-staging
+// configurations across memory sizes.
+func BenchmarkFig6FileStaging(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFig7Attributes regenerates Figure 7 (left): scalability with the
+// number of attributes.
+func BenchmarkFig7Attributes(b *testing.B) { runFigure(b, "fig7-left") }
+
+// BenchmarkFig7SQLCounting regenerates Figure 7 (right): the UNION-of-
+// GROUP-BY SQL counting strawman vs the middleware.
+func BenchmarkFig7SQLCounting(b *testing.B) { runFigure(b, "fig7-right") }
+
+// BenchmarkFig8aAttributeValues regenerates Figure 8a: attribute values on a
+// lop-sided tree, cursor scan vs file-based data store.
+func BenchmarkFig8aAttributeValues(b *testing.B) { runFigure(b, "fig8a") }
+
+// BenchmarkFig8bLeaves regenerates Figure 8b: number of generating-tree
+// leaves under a small memory budget.
+func BenchmarkFig8bLeaves(b *testing.B) { runFigure(b, "fig8b") }
+
+// BenchmarkIndexScans regenerates the §5.2.5 experiment: auxiliary
+// server-side access structures vs the plain sequential scan.
+func BenchmarkIndexScans(b *testing.B) { runFigure(b, "sec5.2.5") }
+
+// BenchmarkExtractAll regenerates the §2.3 extract-everything strawman
+// comparison.
+func BenchmarkExtractAll(b *testing.B) { runFigure(b, "extract-all") }
+
+// BenchmarkNaiveBayes regenerates the Naive Bayes plug-in measurement.
+func BenchmarkNaiveBayes(b *testing.B) { runFigure(b, "naive-bayes") }
+
+// BenchmarkAblationPushdown quantifies §4.3.1's filter-expression pushdown.
+func BenchmarkAblationPushdown(b *testing.B) { runFigure(b, "abl-pushdown") }
+
+// BenchmarkAblationBatching quantifies §4.1.1's multi-node single-scan
+// counting.
+func BenchmarkAblationBatching(b *testing.B) { runFigure(b, "abl-batching") }
+
+// BenchmarkAblationRule3 measures the scheduler's Rule 3 admission order
+// against FIFO.
+func BenchmarkAblationRule3(b *testing.B) { runFigure(b, "abl-rule3") }
+
+// BenchmarkSensitivity re-measures the headline orderings under perturbed
+// cost models.
+func BenchmarkSensitivity(b *testing.B) { runFigure(b, "sensitivity") }

@@ -1,0 +1,119 @@
+// Command sqlsh is an interactive shell over the embedded SQL engine — the
+// simulated "SQL Server 7.0" backend the middleware runs against. It is
+// useful for inspecting generated datasets and for issuing the paper's
+// UNION-of-GROUP-BY counts queries by hand.
+//
+// With -csv or -gen a dataset is preloaded into table "cases". Statements
+// are terminated by newline; the shell prints the result set plus the
+// simulated cost of each statement.
+//
+// Example session:
+//
+//	$ sqlsh -gen census -rows 5000
+//	sql> SELECT income, COUNT(*) FROM cases GROUP BY income
+//	sql> SELECT education AS val, income, COUNT(*) FROM cases WHERE sex = 0 GROUP BY income, education
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	csvPath := flag.String("csv", "", "preload this CSV into table 'cases'")
+	gen := flag.String("gen", "", "preload a generated dataset: tree, gaussians or census")
+	rows := flag.Int("rows", 5000, "rows for -gen")
+	seed := flag.Int64("seed", 1, "seed for -gen")
+	flag.Parse()
+
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+
+	if *csvPath != "" || *gen != "" {
+		ds, err := load(*csvPath, *gen, *rows, *seed)
+		if err != nil {
+			return err
+		}
+		if _, err := engine.NewServer(eng, "cases", ds); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d rows into table cases: %s\n", ds.N(), ds.Schema)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		stmt := strings.TrimSpace(sc.Text())
+		switch {
+		case stmt == "":
+		case stmt == "\\q" || stmt == "exit" || stmt == "quit":
+			return nil
+		case stmt == "\\d":
+			for _, n := range eng.TableNames() {
+				t, _ := eng.Table(n)
+				fmt.Printf("%s (%s): %d rows, %d pages\n", n, strings.Join(t.Cols, ", "), t.NumRows(), t.NumPages())
+			}
+		default:
+			before := meter.Snapshot()
+			rs, err := eng.Exec(stmt)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				if rs != nil {
+					fmt.Print(rs)
+					fmt.Printf("(%d rows) ", len(rs.Rows))
+				}
+				fmt.Printf("simulated cost: %v\n", meter.Since(before))
+			}
+		}
+		fmt.Print("sql> ")
+	}
+	return sc.Err()
+}
+
+func load(csvPath, gen string, rows int, seed int64) (*data.Dataset, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return data.ReadCSV(f)
+	}
+	switch gen {
+	case "tree":
+		cfg := datagen.TreeGenConfig{Seed: seed}.Normalize()
+		cfg.CasesPerLeaf = rows / cfg.Leaves
+		if cfg.CasesPerLeaf < 1 {
+			cfg.CasesPerLeaf = 1
+		}
+		ds, _, err := datagen.GenerateTreeData(cfg)
+		return ds, err
+	case "gaussians":
+		cfg := datagen.GaussianConfig{Seed: seed}.Normalize()
+		cfg.PerClass = rows / cfg.Components
+		if cfg.PerClass < 1 {
+			cfg.PerClass = 1
+		}
+		return datagen.GenerateGaussians(cfg)
+	case "census":
+		return datagen.GenerateCensus(datagen.CensusConfig{Rows: rows, Seed: seed})
+	}
+	return nil, fmt.Errorf("unknown generator %q", gen)
+}

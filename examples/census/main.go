@@ -1,0 +1,113 @@
+// Census: the paper's motivating scenario — mine a large demographic table
+// that lives in a SQL database, without extracting it and without any
+// special physical organization.
+//
+// The example builds an income classifier over a census-like table three
+// ways and compares their simulated costs:
+//
+//  1. the middleware with full staging (the paper's system),
+//  2. the middleware with staging disabled (every batch re-scans the server),
+//  3. the §2.3 strawman that issues one UNION-of-GROUP-BY SQL statement per
+//     tree node.
+//
+// All three produce the identical tree; only the cost differs. It then
+// prints the most confident decision rules, the interpretable output §2.1
+// motivates decision trees with.
+//
+// Run with:
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/mw"
+	"repro/internal/sim"
+)
+
+func newServer(ds *data.Dataset) *engine.Server {
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+	srv, err := engine.NewServer(eng, "census", ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return srv
+}
+
+func main() {
+	ds, err := datagen.GenerateCensus(datagen.CensusConfig{Rows: 20000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("census table: %d rows, %d attributes (%.2f MB)\n",
+		ds.N(), ds.Schema.NumAttrs(), float64(ds.Bytes())/(1<<20))
+
+	opt := dtree.Options{MinRows: 200, MaxDepth: 8}
+
+	// 1. Middleware with staging.
+	srv1 := newServer(ds)
+	m, err := mw.New(srv1, mw.Config{
+		Memory:     ds.Bytes(), // enough to stage the shrinking active set
+		Staging:    mw.StageFileAndMemory,
+		FilePolicy: mw.FileSplitThreshold,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := dtree.Build(m, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Close()
+	fmt.Printf("\nmiddleware (staged):   %8.3fs  scans=%d shipped=%d\n",
+		srv1.Meter().Now().Seconds(), srv1.Meter().Count(sim.CtrServerScans),
+		srv1.Meter().Count(sim.CtrRowsTransmitted))
+
+	// 2. Middleware, staging disabled.
+	srv2 := newServer(ds)
+	m2, err := mw.New(srv2, mw.Config{Staging: mw.StageNone, Memory: ds.Bytes()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree2, err := dtree.Build(m2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2.Close()
+	fmt.Printf("middleware (no stage): %8.3fs  scans=%d shipped=%d\n",
+		srv2.Meter().Now().Seconds(), srv2.Meter().Count(sim.CtrServerScans),
+		srv2.Meter().Count(sim.CtrRowsTransmitted))
+
+	// 3. Per-node SQL counting.
+	srv3 := newServer(ds)
+	tree3, err := baseline.SQLCounting(srv3, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sql counting strawman: %8.3fs  statements=%d\n",
+		srv3.Meter().Now().Seconds(), srv3.Meter().Count(sim.CtrSQLStatements))
+
+	if !dtree.Equal(tree, tree2) || !dtree.Equal(tree, tree3) {
+		log.Fatal("BUG: strategies disagree on the tree")
+	}
+	fmt.Printf("\nall three strategies produced the identical %d-node tree (accuracy %.4f)\n",
+		tree.NumNodes, tree.Accuracy(ds))
+
+	fmt.Println("\nsample decision rules:")
+	rules := tree.Rules()
+	for i, r := range rules {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(rules)-5)
+			break
+		}
+		fmt.Println("  " + r)
+	}
+}

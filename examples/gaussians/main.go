@@ -1,0 +1,64 @@
+// Gaussians: the §5.1.2 workload — high-dimensional data from a mixture of
+// Gaussians, discretized to categorical bins. The mixture property survives
+// dropping dimensions, so this example varies dimensionality while keeping
+// the data's nature fixed and shows how the middleware's cost scales with
+// the number of attributes (the Figure 7 effect) at two memory budgets.
+//
+// Run with:
+//
+//	go run ./examples/gaussians
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/mw"
+	"repro/internal/sim"
+)
+
+func build(ds *data.Dataset, cfg mw.Config) (tree *dtree.Tree, seconds float64, scans int64) {
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+	srv, err := engine.NewServer(eng, "mixture", ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := mw.New(srv, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	tree, err = dtree.Build(m, dtree.Options{MaxDepth: 8, MinRows: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tree, meter.Now().Seconds(), meter.Count(sim.CtrServerScans)
+}
+
+func main() {
+	fmt.Println("dims   rows     MB   staged(s)  scans   no-stage(s)  scans  accuracy")
+	for _, dims := range []int{10, 25, 50, 100} {
+		full, err := datagen.GenerateGaussians(datagen.GaussianConfig{
+			Dims: dims, Components: 8, PerClass: 600, Bins: 4, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		memory := full.Bytes() / 2
+		staged, sSec, sScans := build(full, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory})
+		_, nSec, nScans := build(full, mw.Config{Staging: mw.StageNone, Memory: memory})
+
+		fmt.Printf("%4d  %5d  %5.2f  %9.3f  %5d  %11.3f  %5d  %.4f\n",
+			dims, full.N(), float64(full.Bytes())/(1<<20),
+			sSec, sScans, nSec, nScans, staged.Accuracy(full))
+	}
+	fmt.Println("\nstaging keeps the cost flat-ish in dimensionality by trading server")
+	fmt.Println("scans for middleware memory reads; without staging every frontier")
+	fmt.Println("generation re-ships the shrinking active set from the server.")
+}

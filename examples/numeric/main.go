@@ -1,0 +1,112 @@
+// Numeric: the paper assumes "all attributes are categorical or have been
+// discretized" (§1), citing Fayyad & Irani's entropy-based method for
+// numeric-valued attributes. This example shows that end of the pipeline:
+// raw continuous measurements are discretized three ways (equal-width,
+// equal-frequency, supervised entropy-MDL), loaded into the SQL backend, and
+// classified through the middleware — demonstrating how much the supervised
+// discretizer helps downstream accuracy and how it keeps cardinalities (and
+// therefore counts tables) small.
+//
+// Run with:
+//
+//	go run ./examples/numeric
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/discretize"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/mw"
+	"repro/internal/sim"
+)
+
+// synthesize draws a 4-dimensional continuous dataset where the class
+// depends on nonlinear thresholds of two informative dimensions; the other
+// two are noise.
+func synthesize(n int, seed int64) (cols [][]float64, classes []data.Value) {
+	rng := rand.New(rand.NewSource(seed))
+	cols = make([][]float64, 4)
+	for i := 0; i < n; i++ {
+		x0 := rng.NormFloat64()*2 + 1
+		x1 := rng.Float64() * 100
+		x2 := rng.ExpFloat64()
+		x3 := rng.NormFloat64()
+		cols[0] = append(cols[0], x0)
+		cols[1] = append(cols[1], x1)
+		cols[2] = append(cols[2], x2)
+		cols[3] = append(cols[3], x3)
+		cls := data.Value(0)
+		if (x0 > 1.5 && x1 < 40) || (x0 <= -0.5 && x1 > 70) {
+			cls = 1
+		}
+		if rng.Float64() < 0.05 {
+			cls = 1 - cls
+		}
+		classes = append(classes, cls)
+	}
+	return cols, classes
+}
+
+func classify(ds *data.Dataset) (acc float64, seconds float64, ccBytes int64) {
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+	srv, err := engine.NewServer(eng, "numeric", ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := mw.New(srv, mw.Config{Staging: mw.StageMemoryOnly, Memory: ds.Bytes()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	tree, err := dtree.Build(m, dtree.Options{MinRows: 20, MaxDepth: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tree.Accuracy(ds), meter.Now().Seconds(), meter.Count(sim.CtrCCUpdates)
+}
+
+func main() {
+	cols, classes := synthesize(8000, 17)
+	names := []string{"x0", "x1", "x2", "x3"}
+
+	methods := []struct {
+		name string
+		fit  func([]float64, []data.Value) (*discretize.Discretizer, error)
+	}{
+		{"equal-width k=8", func(v []float64, _ []data.Value) (*discretize.Discretizer, error) {
+			return discretize.EqualWidth(v, 8)
+		}},
+		{"equal-freq  k=8", func(v []float64, _ []data.Value) (*discretize.Discretizer, error) {
+			return discretize.EqualFrequency(v, 8)
+		}},
+		{"entropy-MDL    ", func(v []float64, c []data.Value) (*discretize.Discretizer, error) {
+			return discretize.EntropyMDL(v, c, 2, 0)
+		}},
+	}
+
+	fmt.Println("method            bins/attr          accuracy   build(vt-s)   cc updates")
+	for _, md := range methods {
+		ds, discs, err := discretize.Table(cols, names, classes, 2, md.fit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, secs, cc := classify(ds)
+		bins := ""
+		for i, d := range discs {
+			if i > 0 {
+				bins += ","
+			}
+			bins += fmt.Sprintf("%d", d.Bins())
+		}
+		fmt.Printf("%s   %-12s     %9.4f   %11.3f   %10d\n", md.name, bins, acc, secs, cc)
+	}
+	fmt.Println("\nthe supervised discretizer finds the class-relevant thresholds, keeps")
+	fmt.Println("noise attributes at a single bin (smaller counts tables, cheaper scans),")
+	fmt.Println("and yields the most accurate tree.")
+}

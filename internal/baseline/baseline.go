@@ -1,0 +1,100 @@
+// Package baseline implements the comparison strategies the paper measures
+// the middleware against:
+//
+//   - ExtractAll (§2.3 strawman 1): pull the entire table through a cursor
+//     to the client and run the traditional classification client on the
+//     local copy. When the extracted data exceeds the client's memory it is
+//     spilled to client secondary storage and every counting pass re-reads
+//     it from disk — the scalability failure the paper's architecture
+//     exists to avoid.
+//   - SQLCounting (§2.3 strawman 2, Figure 7 right): grow the tree by
+//     executing one UNION-of-GROUP-BY SQL statement per active node at the
+//     server; "optimizers in most database systems are not capable of
+//     exploiting the commonality", so every arm of every statement performs
+//     its own scan.
+//   - FileStore (Figure 8a): read the table from the database once, save it
+//     locally, and feed every subsequent scan from the local file instead
+//     of the RDBMS ("the effect of not using the RDBMS as a continuous
+//     source of data"). This is exactly the middleware restricted to
+//     file-only staging with a singleton file, so it delegates to that
+//     configuration.
+package baseline
+
+import (
+	"repro/internal/cc"
+	"repro/internal/data"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/mw"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// ExtractAll pulls every row of the server's table to the client (charging
+// transfer plus client materialization) and grows the tree with the
+// traditional level-synchronous client. clientMemory bounds the client's
+// RAM: if the extracted data fits, counting passes touch memory; otherwise
+// the copy lives on client disk and every pass pays per-row disk reads.
+// clientMemory = 0 means unlimited.
+func ExtractAll(srv *engine.Server, clientMemory int64, opt dtree.Options) (*dtree.Tree, error) {
+	meter := srv.Meter()
+	costs := meter.Costs()
+	ds := data.NewDataset(srv.Schema())
+	cur := srv.OpenScan(predicate.MatchAll())
+	defer cur.Close()
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		meter.Charge(sim.CtrClientRows, costs.ClientRowLoad, 1)
+		ds.Rows = append(ds.Rows, row.Clone())
+	}
+
+	spill := clientMemory > 0 && ds.Bytes() > clientMemory
+	if spill {
+		// The copy is written once to client disk.
+		meter.Charge(sim.CtrFileRowsWritten, costs.FileRowWrite, int64(ds.N()))
+	}
+	onRow := func() {
+		if spill {
+			meter.Charge(sim.CtrFileRowsRead, costs.FileRowRead, 1)
+		} else {
+			meter.Charge(sim.CtrMemRowsRead, costs.MemRowRead, 1)
+		}
+	}
+	return dtree.BuildLevelwise(ds, opt, onRow)
+}
+
+// SQLCounting grows the tree with all counting done by the database server
+// via UNION-of-GROUP-BY queries: one SQL statement per active node. The tree
+// produced is identical to the middleware's; only the cost differs
+// (dramatically, per Figure 7).
+func SQLCounting(srv *engine.Server, opt dtree.Options) (*dtree.Tree, error) {
+	fetch := func(path predicate.Conj, attrs []int) (*cc.Table, error) {
+		rs, err := srv.Engine().Exec(mw.CountsSQL(srv.Schema(), srv.TableName(), path, attrs))
+		if err != nil {
+			return nil, err
+		}
+		return mw.CountsFromResult(srv.Schema(), rs)
+	}
+	return dtree.BuildWithCounts(srv.Schema(), srv.NumRows(), opt, fetch)
+}
+
+// FileStore grows the tree with the file-based data store of Figure 8a: the
+// middleware restricted to a single staging file filled on the first scan
+// and re-scanned for every batch, with the given middleware memory budget
+// for counts tables.
+func FileStore(srv *engine.Server, dir string, memory int64, opt dtree.Options) (*dtree.Tree, error) {
+	m, err := mw.New(srv, mw.Config{
+		Staging:    mw.StageFileOnly,
+		FilePolicy: mw.FileSingleton,
+		Memory:     memory,
+		Dir:        dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	return dtree.Build(m, opt)
+}

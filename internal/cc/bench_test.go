@@ -1,0 +1,60 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func benchRows(n int) []data.Row {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]data.Row, n)
+	for i := range rows {
+		rows[i] = data.Row{
+			data.Value(rng.Intn(4)), data.Value(rng.Intn(4)), data.Value(rng.Intn(4)),
+			data.Value(rng.Intn(4)), data.Value(rng.Intn(10)),
+		}
+	}
+	return rows
+}
+
+// BenchmarkAddRow measures the scan-based-counting inner loop: one row
+// accumulated into a counts table over 4 attributes + class.
+func BenchmarkAddRow(b *testing.B) {
+	rows := benchRows(1024)
+	attrs := []int{0, 1, 2, 3, 4}
+	t := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.AddRow(rows[i&1023], attrs)
+	}
+}
+
+// BenchmarkClassVector measures reading one (attr, value) class vector, the
+// split-scoring hot path.
+func BenchmarkClassVector(b *testing.B) {
+	t := New()
+	attrs := []int{0, 1, 2, 3, 4}
+	for _, r := range benchRows(4096) {
+		t.AddRow(r, attrs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.ClassVector(i&3, data.Value(i&3), 10)
+	}
+}
+
+// BenchmarkEstimate measures the scheduler's Est_cc computation.
+func BenchmarkEstimate(b *testing.B) {
+	t := New()
+	attrs := []int{0, 1, 2, 3, 4}
+	for _, r := range benchRows(4096) {
+		t.AddRow(r, attrs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EstimateEntries(t, attrs[:4], 1000, 4096, 10)
+	}
+}

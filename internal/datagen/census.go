@@ -1,0 +1,151 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// CensusConfig controls the census-like generator, the stand-in for the
+// "large, publicly available database obtained from the U.S. Census Bureau"
+// (§5.1). The schema and marginal distributions are modeled on the UCI
+// Adult/Census-Income extract: skewed categorical demographics with a binary
+// income class driven by noisy rules over education, age, occupation, hours
+// and capital gains. The paper uses the census data only as "a real
+// database"; what matters for the experiments is realistic skew (uneven
+// attribute cardinalities and impure regions), which this generator
+// reproduces deterministically.
+type CensusConfig struct {
+	Rows int
+	Seed int64
+	// Noise is the probability a row's class label is flipped (default 0.08),
+	// keeping the tree from terminating too early.
+	Noise float64
+}
+
+// Normalize fills unset fields.
+func (c CensusConfig) Normalize() CensusConfig {
+	if c.Rows == 0 {
+		c.Rows = 30000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.08
+	}
+	return c
+}
+
+// censusAttr describes one census column: a name, its categories' relative
+// weights (implying the cardinality), sampled independently.
+type censusAttr struct {
+	name    string
+	weights []float64
+}
+
+// The demographic-shaped marginals. Cardinalities are intentionally uneven
+// (2..14) to exercise the scheduler's cardinality estimates.
+var censusAttrs = []censusAttr{
+	{"age", []float64{6, 12, 14, 13, 10, 7, 4, 2}},                     // 8 age buckets
+	{"workclass", []float64{70, 8, 6, 5, 4, 3, 2, 2}},                  // 8
+	{"education", []float64{32, 22, 16, 10, 7, 5, 4, 2, 1, 1}},         // 10
+	{"marital", []float64{46, 33, 10, 6, 3, 2}},                        // 6
+	{"occupation", []float64{13, 12, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3}}, // 12
+	{"relationship", []float64{40, 26, 15, 10, 5, 4}},                  // 6
+	{"race", []float64{85, 10, 3, 1, 1}},                               // 5
+	{"sex", []float64{67, 33}},                                         // 2
+	{"capgain", []float64{91, 4, 3, 2}},                                // 4 buckets
+	{"caploss", []float64{95, 3, 2}},                                   // 3 buckets
+	{"hours", []float64{20, 55, 15, 10}},                               // 4 buckets
+	{"country", []float64{90, 2, 2, 1, 1, 1, 1, 1, 0.5, 0.5}},          // 10
+}
+
+// GenerateCensus draws the census-like dataset with a binary income class.
+func GenerateCensus(cfg CensusConfig) (*data.Dataset, error) {
+	cfg = cfg.Normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	schema := &data.Schema{Class: data.Attribute{Name: "income", Card: 2}}
+	cum := make([][]float64, len(censusAttrs))
+	for i, a := range censusAttrs {
+		schema.Attrs = append(schema.Attrs, data.Attribute{Name: a.name, Card: len(a.weights)})
+		cum[i] = cumulative(a.weights)
+	}
+
+	idx := map[string]int{}
+	for i, a := range censusAttrs {
+		idx[a.name] = i
+	}
+	age, edu, occ, hours, capgain, marital, sex :=
+		idx["age"], idx["education"], idx["occupation"], idx["hours"], idx["capgain"], idx["marital"], idx["sex"]
+
+	ds := data.NewDataset(schema)
+	ncols := schema.NumCols()
+	for r := 0; r < cfg.Rows; r++ {
+		row := make(data.Row, ncols)
+		for i := range censusAttrs {
+			row[i] = data.Value(sample(cum[i], rng))
+		}
+		// Noisy income rule: a score over education, age, occupation,
+		// hours, capital gains, marital status and sex, thresholded.
+		score := 0.0
+		score += float64(row[edu]) * 0.55  // higher education codes = more schooling
+		score += agePeak(int(row[age]))    // prime earning years
+		score += float64(row[capgain]) * 2 // any capital gains strongly predict >50K
+		score -= float64(row[occ]) * 0.18  // lower occupation codes = managerial
+		if row[hours] >= 2 {
+			score += 1.4
+		}
+		if row[marital] == 0 {
+			score += 1.2 // married-civ-spouse
+		}
+		if row[sex] == 0 {
+			score += 0.4
+		}
+		cls := data.Value(0)
+		if score > 4.4 {
+			cls = 1
+		}
+		if rng.Float64() < cfg.Noise {
+			cls = 1 - cls
+		}
+		row[ncols-1] = cls
+		ds.Rows = append(ds.Rows, row)
+	}
+	return ds, nil
+}
+
+// agePeak scores the prime-earning age buckets highest.
+func agePeak(bucket int) float64 {
+	peaks := []float64{0, 0.6, 1.4, 1.8, 1.6, 1.0, 0.4, 0}
+	if bucket < 0 || bucket >= len(peaks) {
+		return 0
+	}
+	return peaks[bucket]
+}
+
+func cumulative(w []float64) []float64 {
+	out := make([]float64, len(w))
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	acc := 0.0
+	for i, x := range w {
+		acc += x / total
+		out[i] = acc
+	}
+	out[len(out)-1] = 1.0
+	return out
+}
+
+func sample(cum []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, c := range cum {
+		if u <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}

@@ -1,0 +1,101 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// GaussianConfig controls the mixture-of-Gaussians generator (§5.1.2): the
+// means of the Gaussians are uniform over [-5, +5] in each dimension, the
+// per-dimension variances uniform over [0.7, 1.5], and the class of a sample
+// is the index of the component that produced it. Continuous values are
+// discretized into Bins equal-width bins over [-8, +8] (the paper assumes
+// discretized attributes; see §1 and [CFB97]).
+type GaussianConfig struct {
+	Dims       int // dimensionality (the paper uses 100)
+	Components int // number of Gaussians = number of classes (the paper uses 10... derived from 1M/10k? components = classes)
+	PerClass   int // samples drawn per component (the paper uses 10,000)
+	Bins       int // discretization bins per dimension (default 4, §5.1.3)
+	Seed       int64
+}
+
+// Normalize fills unset fields with defaults scaled for test use.
+func (c GaussianConfig) Normalize() GaussianConfig {
+	if c.Dims == 0 {
+		c.Dims = 100
+	}
+	if c.Components == 0 {
+		c.Components = 10
+	}
+	if c.PerClass == 0 {
+		c.PerClass = 1000
+	}
+	if c.Bins == 0 {
+		c.Bins = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+const (
+	gaussLo = -8.0
+	gaussHi = 8.0
+)
+
+// GenerateGaussians draws the mixture dataset. Because the mixture property
+// is preserved under dropping dimensions or components (§5.1.2), callers can
+// vary Dims and Components freely without changing the nature of the data.
+func GenerateGaussians(cfg GaussianConfig) (*data.Dataset, error) {
+	cfg = cfg.Normalize()
+	if cfg.Dims < 1 || cfg.Components < 1 || cfg.PerClass < 1 || cfg.Bins < 2 {
+		return nil, fmt.Errorf("datagen: invalid gaussian config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	schema := &data.Schema{Class: data.Attribute{Name: "class", Card: cfg.Components}}
+	for d := 0; d < cfg.Dims; d++ {
+		schema.Attrs = append(schema.Attrs, data.Attribute{Name: fmt.Sprintf("X%d", d+1), Card: cfg.Bins})
+	}
+
+	// Component parameters.
+	means := make([][]float64, cfg.Components)
+	sds := make([][]float64, cfg.Components)
+	for k := 0; k < cfg.Components; k++ {
+		means[k] = make([]float64, cfg.Dims)
+		sds[k] = make([]float64, cfg.Dims)
+		for d := 0; d < cfg.Dims; d++ {
+			means[k][d] = -5 + 10*rng.Float64()
+			variance := 0.7 + 0.8*rng.Float64()
+			sds[k][d] = math.Sqrt(variance)
+		}
+	}
+
+	binWidth := (gaussHi - gaussLo) / float64(cfg.Bins)
+	ds := data.NewDataset(schema)
+	ncols := schema.NumCols()
+	for k := 0; k < cfg.Components; k++ {
+		for i := 0; i < cfg.PerClass; i++ {
+			row := make(data.Row, ncols)
+			for d := 0; d < cfg.Dims; d++ {
+				x := means[k][d] + rng.NormFloat64()*sds[k][d]
+				b := int((x - gaussLo) / binWidth)
+				if b < 0 {
+					b = 0
+				}
+				if b >= cfg.Bins {
+					b = cfg.Bins - 1
+				}
+				row[d] = data.Value(b)
+			}
+			row[ncols-1] = data.Value(k)
+			ds.Rows = append(ds.Rows, row)
+		}
+	}
+	rng.Shuffle(len(ds.Rows), func(i, j int) { ds.Rows[i], ds.Rows[j] = ds.Rows[j], ds.Rows[i] })
+	return ds, nil
+}

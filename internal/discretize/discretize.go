@@ -1,0 +1,258 @@
+// Package discretize converts numeric attributes to the categorical codes
+// the classification stack operates on. The paper assumes "all attributes
+// are categorical or have been discretized" (§1, referring to [CFB97] and to
+// Fayyad & Irani's entropy-based method [FI92b/FI93] for numeric-valued
+// attributes); this package supplies the three standard discretizers:
+//
+//   - EqualWidth: k equal-width bins over the observed range;
+//   - EqualFrequency: k bins with (approximately) equal row counts;
+//   - EntropyMDL: Fayyad & Irani's supervised method — recursively choose
+//     the boundary minimizing class-entropy and accept it only if it passes
+//     the minimum description length criterion.
+//
+// A fitted Discretizer maps float64 values to data.Value codes and can be
+// applied to unseen values (clamping to the learned bins).
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Discretizer maps one numeric column to categorical codes via learned cut
+// points: value v falls in bin i where i is the number of cuts <= v.
+type Discretizer struct {
+	Cuts []float64 // ascending; len(Cuts)+1 bins
+}
+
+// Bins returns the number of bins.
+func (d *Discretizer) Bins() int { return len(d.Cuts) + 1 }
+
+// Code maps a value to its bin.
+func (d *Discretizer) Code(v float64) data.Value {
+	// Binary search for the first cut > v.
+	i := sort.SearchFloat64s(d.Cuts, v)
+	// SearchFloat64s returns the first index with Cuts[i] >= v; values equal
+	// to a cut belong to the right bin boundary-exclusive on the left, so
+	// adjust: bin = count of cuts strictly <= v.
+	for i < len(d.Cuts) && d.Cuts[i] <= v {
+		i++
+	}
+	return data.Value(i)
+}
+
+// EqualWidth fits k equal-width bins over [min(values), max(values)].
+func EqualWidth(values []float64, k int) (*Discretizer, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 bins, got %d", k)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("discretize: no values")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return &Discretizer{}, nil // single bin: constant column
+	}
+	d := &Discretizer{}
+	width := (hi - lo) / float64(k)
+	for i := 1; i < k; i++ {
+		d.Cuts = append(d.Cuts, lo+width*float64(i))
+	}
+	return d, nil
+}
+
+// EqualFrequency fits k bins holding approximately equal numbers of rows.
+// Duplicate boundary values collapse, so the result may have fewer bins.
+func EqualFrequency(values []float64, k int) (*Discretizer, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 bins, got %d", k)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("discretize: no values")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	d := &Discretizer{}
+	for i := 1; i < k; i++ {
+		idx := i * len(sorted) / k
+		if idx <= 0 || idx >= len(sorted) {
+			continue
+		}
+		cut := sorted[idx]
+		if len(d.Cuts) == 0 || cut > d.Cuts[len(d.Cuts)-1] {
+			d.Cuts = append(d.Cuts, cut)
+		}
+	}
+	return d, nil
+}
+
+// EntropyMDL fits Fayyad & Irani's entropy-based discretization with the
+// MDL stopping criterion: boundaries are candidate midpoints between
+// adjacent values of different classes; the boundary minimizing the weighted
+// class entropy is accepted when information gain exceeds the MDL threshold,
+// and the procedure recurses on both sides. maxBins caps the result
+// (0 = unlimited).
+func EntropyMDL(values []float64, classes []data.Value, classCard, maxBins int) (*Discretizer, error) {
+	if len(values) != len(classes) {
+		return nil, fmt.Errorf("discretize: %d values vs %d classes", len(values), len(classes))
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("discretize: no values")
+	}
+	pairs := make([]pair, len(values))
+	for i := range values {
+		pairs[i] = pair{values[i], classes[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+
+	d := &Discretizer{}
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if maxBins > 0 && len(d.Cuts)+1 >= maxBins {
+			return
+		}
+		n := hi - lo
+		if n < 4 {
+			return
+		}
+		total := histOf(pairs[lo:hi], classCard)
+		hAll := entropy(total, int64(n))
+
+		// Scan boundaries: prefix class histogram.
+		best := -1
+		bestH := math.Inf(1)
+		left := make([]int64, classCard)
+		for i := lo; i < hi-1; i++ {
+			left[pairs[i].c]++
+			if pairs[i].v == pairs[i+1].v {
+				continue // not a boundary
+			}
+			nl := int64(i - lo + 1)
+			nr := int64(hi - i - 1)
+			right := make([]int64, classCard)
+			for c := range right {
+				right[c] = total[c] - left[c]
+			}
+			h := (float64(nl)*entropy(left, nl) + float64(nr)*entropy(right, nr)) / float64(n)
+			if h < bestH {
+				bestH = h
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		gain := hAll - bestH
+
+		// MDL criterion (Fayyad & Irani 1993).
+		k := distinctClasses(total)
+		leftHist := histOf(pairs[lo:best+1], classCard)
+		rightHist := histOf(pairs[best+1:hi], classCard)
+		k1, k2 := distinctClasses(leftHist), distinctClasses(rightHist)
+		h1 := entropy(leftHist, int64(best+1-lo))
+		h2 := entropy(rightHist, int64(hi-best-1))
+		delta := math.Log2(math.Pow(3, float64(k))-2) -
+			(float64(k)*hAll - float64(k1)*h1 - float64(k2)*h2)
+		threshold := (math.Log2(float64(n)-1) + delta) / float64(n)
+		if gain <= threshold {
+			return
+		}
+
+		cut := (pairs[best].v + pairs[best+1].v) / 2
+		d.Cuts = append(d.Cuts, cut)
+		rec(lo, best+1)
+		rec(best+1, hi)
+	}
+	rec(0, len(pairs))
+	sort.Float64s(d.Cuts)
+	return d, nil
+}
+
+// pair is one (value, class) observation used by the supervised method.
+type pair struct {
+	v float64
+	c data.Value
+}
+
+func histOf(pairs []pair, classCard int) []int64 {
+	h := make([]int64, classCard)
+	for _, p := range pairs {
+		h[p.c]++
+	}
+	return h
+}
+
+func distinctClasses(h []int64) int {
+	k := 0
+	for _, c := range h {
+		if c > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+func entropy(h []int64, n int64) float64 {
+	if n == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range h {
+		if c > 0 {
+			p := float64(c) / float64(n)
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+// Table discretizes a numeric matrix column-by-column into a data.Dataset.
+// cols[i] holds column i's values; classes holds the class codes. method is
+// applied per column; attribute cardinalities come from the fitted bins.
+func Table(cols [][]float64, names []string, classes []data.Value, classCard int,
+	fit func(values []float64, classes []data.Value) (*Discretizer, error)) (*data.Dataset, []*Discretizer, error) {
+
+	if len(cols) == 0 || len(cols) != len(names) {
+		return nil, nil, fmt.Errorf("discretize: %d columns vs %d names", len(cols), len(names))
+	}
+	n := len(classes)
+	for i, col := range cols {
+		if len(col) != n {
+			return nil, nil, fmt.Errorf("discretize: column %d has %d values, want %d", i, len(col), n)
+		}
+	}
+	schema := &data.Schema{Class: data.Attribute{Name: "class", Card: classCard}}
+	ds := data.NewDataset(schema)
+	discs := make([]*Discretizer, len(cols))
+	for i, col := range cols {
+		d, err := fit(col, classes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("discretize: column %q: %w", names[i], err)
+		}
+		discs[i] = d
+		schema.Attrs = append(schema.Attrs, data.Attribute{Name: names[i], Card: d.Bins()})
+	}
+	for r := 0; r < n; r++ {
+		row := make(data.Row, len(cols)+1)
+		for i := range cols {
+			row[i] = discs[i].Code(cols[i][r])
+		}
+		row[len(cols)] = classes[r]
+		ds.Rows = append(ds.Rows, row)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return ds, discs, nil
+}

@@ -1,0 +1,252 @@
+package discretize
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+)
+
+func TestEqualWidth(t *testing.T) {
+	d, err := EqualWidth([]float64{0, 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Cuts, []float64{2.5, 5, 7.5}) {
+		t.Fatalf("cuts = %v", d.Cuts)
+	}
+	if d.Bins() != 4 {
+		t.Errorf("bins = %d", d.Bins())
+	}
+	cases := map[float64]data.Value{0: 0, 2.4: 0, 2.5: 1, 5.1: 2, 7.5: 3, 10: 3, -5: 0, 99: 3}
+	for v, want := range cases {
+		if got := d.Code(v); got != want {
+			t.Errorf("Code(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestEqualWidthConstantColumn(t *testing.T) {
+	d, err := EqualWidth([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() != 1 || d.Code(3) != 0 || d.Code(99) != 0 {
+		t.Errorf("constant column: bins=%d", d.Bins())
+	}
+}
+
+func TestEqualFrequencyBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = rng.ExpFloat64() // skewed distribution
+	}
+	d, err := EqualFrequency(values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, d.Bins())
+	for _, v := range values {
+		counts[d.Code(v)]++
+	}
+	for b, c := range counts {
+		if c < 150 || c > 350 {
+			t.Errorf("bin %d holds %d of 1000 rows; equal-frequency should balance", b, c)
+		}
+	}
+}
+
+func TestEqualFrequencyDuplicateHeavy(t *testing.T) {
+	// 90% zeros: duplicate boundaries must collapse, not produce equal cuts.
+	values := make([]float64, 100)
+	for i := 90; i < 100; i++ {
+		values[i] = float64(i)
+	}
+	d, err := EqualFrequency(values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(d.Cuts); i++ {
+		if d.Cuts[i] <= d.Cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", d.Cuts)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := EqualWidth(nil, 4); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := EqualWidth([]float64{1}, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := EqualFrequency(nil, 4); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := EntropyMDL([]float64{1}, nil, 2, 0); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestEntropyMDLFindsTrueBoundary(t *testing.T) {
+	// Class 0 below 5.0, class 1 above: one clean boundary near 5.
+	var values []float64
+	var classes []data.Value
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		v := rng.Float64() * 10
+		values = append(values, v)
+		if v < 5 {
+			classes = append(classes, 0)
+		} else {
+			classes = append(classes, 1)
+		}
+	}
+	d, err := EntropyMDL(values, classes, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cuts) != 1 {
+		t.Fatalf("cuts = %v, want exactly one", d.Cuts)
+	}
+	if d.Cuts[0] < 4.5 || d.Cuts[0] > 5.5 {
+		t.Errorf("cut at %v, want near 5", d.Cuts[0])
+	}
+}
+
+func TestEntropyMDLTwoBoundaries(t *testing.T) {
+	// Class pattern 0 | 1 | 0 over thirds: needs two cuts.
+	var values []float64
+	var classes []data.Value
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 600; i++ {
+		v := rng.Float64() * 9
+		values = append(values, v)
+		switch {
+		case v < 3:
+			classes = append(classes, 0)
+		case v < 6:
+			classes = append(classes, 1)
+		default:
+			classes = append(classes, 0)
+		}
+	}
+	d, err := EntropyMDL(values, classes, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cuts) != 2 {
+		t.Fatalf("cuts = %v, want two", d.Cuts)
+	}
+	if d.Cuts[0] < 2.5 || d.Cuts[0] > 3.5 || d.Cuts[1] < 5.5 || d.Cuts[1] > 6.5 {
+		t.Errorf("cuts at %v, want near 3 and 6", d.Cuts)
+	}
+}
+
+func TestEntropyMDLRejectsNoise(t *testing.T) {
+	// Class independent of value: MDL must accept no cuts.
+	rng := rand.New(rand.NewSource(4))
+	var values []float64
+	var classes []data.Value
+	for i := 0; i < 500; i++ {
+		values = append(values, rng.Float64())
+		classes = append(classes, data.Value(rng.Intn(2)))
+	}
+	d, err := EntropyMDL(values, classes, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cuts) > 1 {
+		t.Errorf("noise produced %d cuts: %v", len(d.Cuts), d.Cuts)
+	}
+}
+
+func TestEntropyMDLMaxBins(t *testing.T) {
+	var values []float64
+	var classes []data.Value
+	for i := 0; i < 400; i++ {
+		values = append(values, float64(i))
+		classes = append(classes, data.Value((i/50)%2)) // 8 alternating segments
+	}
+	d, err := EntropyMDL(values, classes, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() > 3 {
+		t.Errorf("bins = %d, want <= 3", d.Bins())
+	}
+}
+
+func TestTable(t *testing.T) {
+	cols := [][]float64{
+		{1, 2, 3, 10, 11, 12},
+		{0, 0, 0, 5, 5, 5},
+	}
+	classes := []data.Value{0, 0, 0, 1, 1, 1}
+	ds, discs, err := Table(cols, []string{"x", "y"}, classes, 2,
+		func(v []float64, c []data.Value) (*Discretizer, error) { return EntropyMDL(v, c, 2, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 6 || len(discs) != 2 {
+		t.Fatalf("table shape: %d rows, %d discretizers", ds.N(), len(discs))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The first three rows must share codes, distinct from the last three.
+	if ds.Rows[0][0] == ds.Rows[3][0] {
+		t.Error("discretization failed to separate the classes on x")
+	}
+	if _, _, err := Table(nil, nil, classes, 2, nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, _, err := Table([][]float64{{1}}, []string{"x"}, classes, 2, nil); err == nil {
+		t.Error("ragged table accepted")
+	}
+}
+
+// TestCodeMonotoneProperty: codes are monotone in the value and cover
+// exactly Bins() codes.
+func TestCodeMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, kSeed uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		for _, v := range raw {
+			if v != v || v > 1e300 || v < -1e300 { // NaN/overflow guards
+				return true
+			}
+		}
+		k := int(kSeed%6) + 2
+		d, err := EqualWidth(raw, k)
+		if err != nil {
+			return false
+		}
+		prev := data.Value(-1)
+		sorted := append([]float64(nil), raw...)
+		sortFloats(sorted)
+		for _, v := range sorted {
+			c := d.Code(v)
+			if c < prev || int(c) >= d.Bins() {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

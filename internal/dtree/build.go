@@ -1,0 +1,297 @@
+package dtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/data"
+	"repro/internal/mw"
+	"repro/internal/predicate"
+)
+
+// Build grows a decision tree through the middleware using the Figure 3
+// protocol: enqueue a request per active node, consume whichever counts
+// tables the middleware chose to fulfil, grow the tree one level at those
+// nodes, repeat until no active nodes remain. Children that already satisfy
+// a termination criterion (their class histogram is known exactly from the
+// parent's CC table) become leaves immediately and are never requested.
+func Build(m *mw.Middleware, opt Options) (*Tree, error) {
+	schema := m.Schema()
+	classCard := schema.Class.Card
+	classIdx := schema.ClassIndex()
+
+	rootAttrs := allAttrs(schema)
+	root := &Node{ID: 0, Attrs: rootAttrs, Rows: m.DataRows(), Depth: 0}
+	nodes := map[int]*Node{0: root}
+	nextID := 1
+
+	// The root's CC size estimate comes from the schema (no parent exists):
+	// the sum of attribute cardinalities times the class cardinality.
+	var rootEst int64
+	for _, a := range schema.Attrs {
+		rootEst += int64(a.Card)
+	}
+	rootEst = rootEst*int64(classCard) + int64(classCard)
+	if err := m.Enqueue(&mw.Request{
+		NodeID: 0, ParentID: -1, Path: nil,
+		Attrs: rootAttrs, Rows: root.Rows, EstCC: rootEst,
+	}); err != nil {
+		return nil, err
+	}
+
+	for m.Pending() > 0 {
+		results, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		if len(results) == 0 {
+			return nil, fmt.Errorf("dtree: middleware made no progress with %d pending requests", m.Pending())
+		}
+		for _, res := range results {
+			n, ok := nodes[res.Req.NodeID]
+			if !ok {
+				return nil, fmt.Errorf("dtree: result for unknown node %d", res.Req.NodeID)
+			}
+			n.ClassCounts = classTotals(res.CC, classIdx, classCard)
+			n.Class, _ = majority(n.ClassCounts)
+
+			dec := decide(res.CC, n.Attrs, n.ClassCounts, n.Rows, n.Depth, opt)
+			if dec.leaf {
+				n.Leaf = true
+				m.CloseNode(n.ID)
+				continue
+			}
+			n.SplitAttr = dec.attr
+			n.SplitVal = dec.val
+			n.Multiway = len(dec.vals) > 0
+			n.SplitVals = dec.vals
+
+			for _, spec := range expand(res.CC, n, dec, classCard) {
+				child := &Node{
+					ID:          nextID,
+					Path:        n.Path.And(spec.cond),
+					Attrs:       spec.attrs,
+					Rows:        spec.rows,
+					Depth:       n.Depth + 1,
+					ClassCounts: spec.classCounts,
+				}
+				nextID++
+				child.Class, _ = majority(child.ClassCounts)
+				n.Children = append(n.Children, child)
+				nodes[child.ID] = child
+
+				// Terminal children never reach the middleware: their
+				// class histogram is already exact.
+				cdec := decide(nil, child.Attrs, child.ClassCounts, child.Rows, child.Depth, terminalProbe(opt))
+				if cdec.leaf {
+					child.Leaf = true
+					continue
+				}
+				est := cc.EstimateEntries(res.CC, child.Attrs, child.Rows, n.Rows, classCard)
+				if err := m.Enqueue(&mw.Request{
+					NodeID: child.ID, ParentID: n.ID,
+					Path: child.Path, Attrs: child.Attrs,
+					Rows: child.Rows, EstCC: est,
+				}); err != nil {
+					return nil, err
+				}
+			}
+			// Children are enqueued before the parent closes so ancestor
+			// staging stays alive for them.
+			m.CloseNode(n.ID)
+		}
+	}
+	return finalize(&Tree{Root: root, Schema: schema}), nil
+}
+
+// terminalProbe restricts Options to the criteria decidable without a CC
+// table (purity, size, depth, exhausted attributes). decide is called with a
+// nil table; guard by treating the gain search as "unknown, not a leaf".
+func terminalProbe(opt Options) Options {
+	o := opt
+	o.probeOnly = true
+	return o
+}
+
+// BuildInMemory grows a tree with the same split logic directly over an
+// in-memory dataset: the traditional client of §3.1 and the reference
+// implementation the middleware-built tree must match exactly.
+func BuildInMemory(ds *data.Dataset, opt Options) (*Tree, error) {
+	return BuildLevelwise(ds, opt, nil)
+}
+
+// BuildLevelwise grows the tree level-synchronously: one pass over the data
+// per frontier generation, routing each row down the partially built tree to
+// its active node and accumulating that node's counts table. This is how a
+// traditional client organizes counting once the data has been extracted;
+// onRow (may be nil) is invoked once per row per pass so baselines can
+// charge per-row access costs. The tree produced is identical to Build's and
+// BuildInMemory's.
+func BuildLevelwise(ds *data.Dataset, opt Options, onRow func()) (*Tree, error) {
+	schema := ds.Schema
+	classCard := schema.Class.Card
+	classIdx := schema.ClassIndex()
+
+	root := &Node{ID: 0, Attrs: allAttrs(schema), Rows: int64(ds.N()), Depth: 0}
+	nextID := 1
+
+	type active struct {
+		n     *Node
+		attrs []int // counted attribute set
+		cc    *cc.Table
+	}
+	frontier := map[*Node]*active{
+		root: {n: root, attrs: append(append([]int(nil), root.Attrs...), classIdx), cc: cc.New()},
+	}
+
+	for len(frontier) > 0 {
+		// One counting pass: route every row to its frontier node.
+		for _, r := range ds.Rows {
+			if onRow != nil {
+				onRow()
+			}
+			n := root
+			for {
+				if a, ok := frontier[n]; ok {
+					a.cc.AddRow(r, a.attrs)
+					break
+				}
+				if n.Leaf {
+					break
+				}
+				n = descend(n, r)
+				if n == nil {
+					break
+				}
+			}
+		}
+
+		// Decide every frontier node and assemble the next frontier.
+		next := map[*Node]*active{}
+		// Deterministic iteration order (by node ID).
+		ordered := make([]*active, 0, len(frontier))
+		for _, a := range frontier {
+			ordered = append(ordered, a)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].n.ID < ordered[j].n.ID })
+		for _, a := range ordered {
+			n := a.n
+			n.ClassCounts = classTotals(a.cc, classIdx, classCard)
+			n.Class, _ = majority(n.ClassCounts)
+			dec := decide(a.cc, n.Attrs, n.ClassCounts, n.Rows, n.Depth, opt)
+			if dec.leaf {
+				n.Leaf = true
+				continue
+			}
+			n.SplitAttr = dec.attr
+			n.SplitVal = dec.val
+			n.Multiway = len(dec.vals) > 0
+			n.SplitVals = dec.vals
+			for _, spec := range expand(a.cc, n, dec, classCard) {
+				child := &Node{
+					ID:          nextID,
+					Path:        n.Path.And(spec.cond),
+					Attrs:       spec.attrs,
+					Rows:        spec.rows,
+					Depth:       n.Depth + 1,
+					ClassCounts: spec.classCounts,
+				}
+				nextID++
+				child.Class, _ = majority(child.ClassCounts)
+				n.Children = append(n.Children, child)
+				cdec := decide(nil, child.Attrs, child.ClassCounts, child.Rows, child.Depth, terminalProbe(opt))
+				if cdec.leaf {
+					child.Leaf = true
+					continue
+				}
+				next[child] = &active{
+					n:     child,
+					attrs: append(append([]int(nil), child.Attrs...), classIdx),
+					cc:    cc.New(),
+				}
+			}
+		}
+		frontier = next
+	}
+	return finalize(&Tree{Root: root, Schema: schema}), nil
+}
+
+// descend follows the split at internal node n for row r, or returns nil for
+// an unseen multiway value.
+func descend(n *Node, r data.Row) *Node {
+	v := r[n.SplitAttr]
+	if !n.Multiway {
+		if v == n.SplitVal {
+			return n.Children[0]
+		}
+		return n.Children[1]
+	}
+	for i, sv := range n.SplitVals {
+		if sv == v {
+			return n.Children[i]
+		}
+	}
+	return nil
+}
+
+// CountsFetcher obtains the counts table for a node identified by its path
+// predicate and remaining attribute set. The table must include the class
+// pseudo-attribute (attribute index = schema.ClassIndex()).
+type CountsFetcher func(path predicate.Conj, attrs []int) (*cc.Table, error)
+
+// BuildWithCounts grows a tree level by level with the shared split logic,
+// obtaining each active node's counts table from fetch. The baseline
+// strategies (SQL counting, file-based data store) use it; the tree produced
+// is identical to Build's and BuildInMemory's for the same data and options.
+func BuildWithCounts(schema *data.Schema, rows int64, opt Options, fetch CountsFetcher) (*Tree, error) {
+	classCard := schema.Class.Card
+	classIdx := schema.ClassIndex()
+
+	root := &Node{ID: 0, Attrs: allAttrs(schema), Rows: rows, Depth: 0}
+	nextID := 1
+	queue := []*Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+
+		table, err := fetch(n.Path, n.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		n.ClassCounts = classTotals(table, classIdx, classCard)
+		n.Class, _ = majority(n.ClassCounts)
+
+		dec := decide(table, n.Attrs, n.ClassCounts, n.Rows, n.Depth, opt)
+		if dec.leaf {
+			n.Leaf = true
+			continue
+		}
+		n.SplitAttr = dec.attr
+		n.SplitVal = dec.val
+		n.Multiway = len(dec.vals) > 0
+		n.SplitVals = dec.vals
+
+		for _, spec := range expand(table, n, dec, classCard) {
+			child := &Node{
+				ID:          nextID,
+				Path:        n.Path.And(spec.cond),
+				Attrs:       spec.attrs,
+				Rows:        spec.rows,
+				Depth:       n.Depth + 1,
+				ClassCounts: spec.classCounts,
+			}
+			nextID++
+			child.Class, _ = majority(child.ClassCounts)
+			n.Children = append(n.Children, child)
+
+			cdec := decide(nil, child.Attrs, child.ClassCounts, child.Rows, child.Depth, terminalProbe(opt))
+			if cdec.leaf {
+				child.Leaf = true
+				continue
+			}
+			queue = append(queue, child)
+		}
+	}
+	return finalize(&Tree{Root: root, Schema: schema}), nil
+}

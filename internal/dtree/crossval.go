@@ -1,0 +1,70 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// CVResult summarizes a k-fold cross-validation.
+type CVResult struct {
+	K          int
+	FoldAcc    []float64
+	Mean       float64
+	StdDev     float64
+	MeanNodes  float64
+	MeanLeaves float64
+}
+
+// String renders the result.
+func (r CVResult) String() string {
+	return fmt.Sprintf("%d-fold CV: accuracy %.4f ± %.4f (mean %d-node trees)",
+		r.K, r.Mean, r.StdDev, int(r.MeanNodes))
+}
+
+// CrossValidate runs k-fold cross-validation of the in-memory tree builder
+// over the dataset: k near-equal folds, each held out once while a tree is
+// grown on the rest. Deterministic for a given seed.
+func CrossValidate(ds *data.Dataset, k int, opt Options, seed int64) (CVResult, error) {
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("dtree: k-fold needs k >= 2, got %d", k)
+	}
+	if ds.N() < k {
+		return CVResult{}, fmt.Errorf("dtree: %d rows cannot form %d folds", ds.N(), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ds.N())
+
+	res := CVResult{K: k}
+	for fold := 0; fold < k; fold++ {
+		train := data.NewDataset(ds.Schema)
+		test := data.NewDataset(ds.Schema)
+		for i, pi := range perm {
+			if i%k == fold {
+				test.Rows = append(test.Rows, ds.Rows[pi])
+			} else {
+				train.Rows = append(train.Rows, ds.Rows[pi])
+			}
+		}
+		tree, err := BuildInMemory(train, opt)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("dtree: fold %d: %w", fold, err)
+		}
+		acc := tree.Accuracy(test)
+		res.FoldAcc = append(res.FoldAcc, acc)
+		res.Mean += acc
+		res.MeanNodes += float64(tree.NumNodes)
+		res.MeanLeaves += float64(tree.NumLeaves)
+	}
+	res.Mean /= float64(k)
+	res.MeanNodes /= float64(k)
+	res.MeanLeaves /= float64(k)
+	var varsum float64
+	for _, a := range res.FoldAcc {
+		varsum += (a - res.Mean) * (a - res.Mean)
+	}
+	res.StdDev = math.Sqrt(varsum / float64(k))
+	return res, nil
+}

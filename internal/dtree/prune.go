@@ -1,0 +1,141 @@
+package dtree
+
+import (
+	"math"
+
+	"repro/internal/data"
+)
+
+// The paper grows full trees ("we did not implement any tree pruning
+// criteria ... this can be easily implemented in our scheme", §3.1). This
+// file supplies the two standard pruning procedures a production client
+// would enable. Both operate on the grown tree and the statistics already
+// collected — pruning needs no further data access, which is exactly why it
+// slots into the sufficient-statistics architecture for free.
+
+// PruneReducedError prunes the tree bottom-up against a validation set:
+// a subtree is replaced by a leaf when the leaf misclassifies no more
+// validation rows than the subtree does (Quinlan's reduced-error pruning).
+// It returns the number of internal nodes pruned. The tree is modified in
+// place; statistics (NumNodes, NumLeaves, MaxDepth) are recomputed.
+func (t *Tree) PruneReducedError(valid *data.Dataset) int {
+	// Route validation rows to per-node error tallies.
+	subtreeErr := map[*Node]int{} // misclassifications by the subtree below the node
+	leafErr := map[*Node]int{}    // misclassifications if the node were a leaf
+	for _, r := range valid.Rows {
+		n := t.Root
+		for {
+			if r.Class() != n.Class {
+				leafErr[n]++
+			}
+			if n.Leaf {
+				if r.Class() != n.Class {
+					// Count the leaf's own error as its subtree error.
+					subtreeErr[n]++
+				}
+				break
+			}
+			next := descend(n, r)
+			if next == nil {
+				if r.Class() != n.Class {
+					subtreeErr[n]++
+				}
+				break
+			}
+			n = next
+		}
+	}
+
+	pruned := 0
+	var rec func(n *Node) int // returns subtree validation errors after pruning below
+	rec = func(n *Node) int {
+		if n.Leaf {
+			return subtreeErr[n]
+		}
+		errs := subtreeErr[n] // rows that fell off a multiway split here
+		for _, c := range n.Children {
+			errs += rec(c)
+		}
+		if leafErr[n] <= errs {
+			n.collapse()
+			pruned++
+			return leafErr[n]
+		}
+		return errs
+	}
+	rec(t.Root)
+	t.refreshStats()
+	return pruned
+}
+
+// PrunePessimistic applies C4.5-style pessimistic pruning using only the
+// training class counts already stored in the tree: each node's training
+// error rate is inflated by a continuity correction scaled by confidence z
+// (C4.5's default confidence of 25% corresponds to z ≈ 0.6745; larger z
+// prunes more). A subtree is replaced by a leaf when the leaf's pessimistic
+// error estimate does not exceed the subtree's. Returns the number of
+// internal nodes pruned.
+func (t *Tree) PrunePessimistic(z float64) int {
+	if z <= 0 {
+		z = 0.6745
+	}
+	pruned := 0
+	var rec func(n *Node) float64 // pessimistic error count of the (possibly pruned) subtree
+	rec = func(n *Node) float64 {
+		total := sum(n.ClassCounts)
+		asLeaf := pessimisticErrors(n.ClassCounts, total, z)
+		if n.Leaf {
+			return asLeaf
+		}
+		var asSubtree float64
+		for _, c := range n.Children {
+			asSubtree += rec(c)
+		}
+		if asLeaf <= asSubtree+1e-12 {
+			n.collapse()
+			pruned++
+			return asLeaf
+		}
+		return asSubtree
+	}
+	rec(t.Root)
+	t.refreshStats()
+	return pruned
+}
+
+// pessimisticErrors is the upper confidence bound on the error count of a
+// leaf with the given class counts: e + z*sqrt(e*(1-e/n)) + 1/2, where e is
+// the observed error count.
+func pessimisticErrors(counts []int64, n int64, z float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	maj, _ := majority(counts)
+	e := float64(n - counts[maj])
+	p := e / float64(n)
+	return e + z*math.Sqrt(e*(1-p)) + 0.5
+}
+
+// collapse turns an internal node into a leaf.
+func (n *Node) collapse() {
+	n.Leaf = true
+	n.Children = nil
+	n.SplitVals = nil
+	n.Multiway = false
+	n.SplitAttr = 0
+	n.SplitVal = 0
+}
+
+// refreshStats recomputes NumNodes / NumLeaves / MaxDepth after pruning.
+func (t *Tree) refreshStats() {
+	t.NumNodes, t.NumLeaves, t.MaxDepth = 0, 0, 0
+	t.Walk(func(n *Node) {
+		t.NumNodes++
+		if n.Leaf {
+			t.NumLeaves++
+		}
+		if n.Depth > t.MaxDepth {
+			t.MaxDepth = n.Depth
+		}
+	})
+}

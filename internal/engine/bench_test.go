@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func benchServer(b *testing.B, rows int) *Server {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := data.NewSchema(8, 4, 4)
+	ds := data.NewDataset(s)
+	for i := 0; i < rows; i++ {
+		r := make(data.Row, 9)
+		for j := range r {
+			r[j] = data.Value(rng.Intn(4))
+		}
+		ds.Append(r)
+	}
+	srv, err := NewServer(New(sim.NewDefaultMeter(), 0), "cases", ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// BenchmarkCursorScan measures the firehose cursor with a pushed-down
+// filter over 10k rows.
+func BenchmarkCursorScan(b *testing.B) {
+	srv := benchServer(b, 10000)
+	filter := predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 1}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := srv.OpenScan(filter)
+		for {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+		}
+		cur.Close()
+	}
+}
+
+// BenchmarkGroupByQuery measures one GROUP BY COUNT(*) statement end to end
+// (parse, plan, scan, aggregate) over 10k rows.
+func BenchmarkGroupByQuery(b *testing.B) {
+	srv := benchServer(b, 10000)
+	e := srv.Engine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("SELECT A1, class, COUNT(*) FROM cases WHERE A2 <> 3 GROUP BY A1, class"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexProbeQuery measures an index-served point query.
+func BenchmarkIndexProbeQuery(b *testing.B) {
+	srv := benchServer(b, 10000)
+	e := srv.Engine()
+	if _, err := e.Exec("CREATE INDEX i ON cases (A1)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec("SELECT COUNT(*) FROM cases WHERE A1 = 2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,568 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func newEngine() *Engine { return New(sim.NewDefaultMeter(), 0) }
+
+func seedTable(t *testing.T, e *Engine) *Table {
+	t.Helper()
+	tbl, err := e.CreateTable("t", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []data.Row{
+		{1, 10, 0},
+		{2, 20, 1},
+		{1, 30, 0},
+		{3, 10, 1},
+		{2, 10, 0},
+	}
+	if err := e.BulkLoad(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func queryInts(t *testing.T, e *Engine, sql string) [][]int64 {
+	t.Helper()
+	rs, err := e.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	out := make([][]int64, len(rs.Rows))
+	for i, r := range rs.Rows {
+		out[i] = make([]int64, len(r))
+		for j, v := range r {
+			if v.Str {
+				t.Fatalf("unexpected string value %q", v.S)
+			}
+			out[i][j] = v.I
+		}
+	}
+	return out
+}
+
+func TestSelectWhereProjection(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT a, b FROM t WHERE c = 0 AND b >= 10")
+	want := [][]int64{{1, 10}, {1, 30}, {2, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	rs, err := e.Exec("SELECT * FROM t WHERE a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Cols, []string{"a", "b", "c"}) {
+		t.Errorf("cols = %v", rs.Cols)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][1].I != 10 {
+		t.Errorf("rows = %v", rs.Rows)
+	}
+}
+
+func TestGroupByCount(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a")
+	want := [][]int64{{1, 2}, {2, 2}, {3, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT COUNT(*), SUM(b), MIN(b), MAX(b) FROM t")
+	want := [][]int64{{5, 80, 10, 30}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestGroupByMultipleKeysWithScalar(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT c, b, COUNT(*) FROM t GROUP BY c, b ORDER BY c, b")
+	want := [][]int64{{0, 10, 2}, {0, 30, 1}, {1, 10, 1}, {1, 20, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnionAndUnionAll(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	all := queryInts(t, e, "SELECT a FROM t WHERE c = 0 UNION ALL SELECT a FROM t WHERE c = 0")
+	if len(all) != 6 {
+		t.Errorf("UNION ALL rows = %d, want 6", len(all))
+	}
+	dedup := queryInts(t, e, "SELECT a FROM t WHERE c = 0 UNION SELECT a FROM t WHERE c = 0 ORDER BY a")
+	want := [][]int64{{1}, {2}}
+	if !reflect.DeepEqual(dedup, want) {
+		t.Errorf("UNION rows = %v, want %v", dedup, want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT DISTINCT c FROM t ORDER BY c")
+	if !reflect.DeepEqual(got, [][]int64{{0}, {1}}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT b FROM t WHERE a = 1 ORDER BY b DESC")
+	if !reflect.DeepEqual(got, [][]int64{{30}, {10}}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestStringLiteralProjection(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	rs, err := e.Exec("SELECT 'attr_a' AS attr_name, a, COUNT(*) FROM t GROUP BY a ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Rows[0][0].Str || rs.Rows[0][0].S != "attr_a" {
+		t.Errorf("string literal = %v", rs.Rows[0][0])
+	}
+	if rs.Cols[0] != "attr_name" {
+		t.Errorf("alias = %q", rs.Cols[0])
+	}
+}
+
+func TestInsertAndDelete(t *testing.T) {
+	e := newEngine()
+	e.MustExec("CREATE TABLE u (x INT, y INT)")
+	e.MustExec("INSERT INTO u VALUES (1, 2), (3, 4), (5, 6)")
+	if got := queryInts(t, e, "SELECT COUNT(*) FROM u"); got[0][0] != 3 {
+		t.Fatalf("count = %d", got[0][0])
+	}
+	e.MustExec("DELETE FROM u WHERE x = 3")
+	got := queryInts(t, e, "SELECT x FROM u ORDER BY x")
+	if !reflect.DeepEqual(got, [][]int64{{1}, {5}}) {
+		t.Errorf("after delete: %v", got)
+	}
+	e.MustExec("DELETE FROM u")
+	if got := queryInts(t, e, "SELECT COUNT(*) FROM u"); got[0][0] != 0 {
+		t.Errorf("after delete-all: %d", got[0][0])
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	e.MustExec("DROP TABLE t")
+	if _, err := e.Exec("SELECT * FROM t"); err == nil {
+		t.Error("query on dropped table succeeded")
+	}
+	if _, err := e.Exec("DROP TABLE t"); err == nil {
+		t.Error("double drop succeeded")
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	if _, err := e.CreateTable("t", []string{"x"}); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := e.CreateTable("u", nil); err == nil {
+		t.Error("zero-column table accepted")
+	}
+	if _, err := e.CreateTable("u", []string{"x", "x"}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestIndexProbeMatchesScan(t *testing.T) {
+	e := newEngine()
+	tbl, _ := e.CreateTable("big", []string{"k", "v"})
+	rng := rand.New(rand.NewSource(3))
+	var rows []data.Row
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, data.Row{data.Value(rng.Intn(50)), data.Value(rng.Intn(10))})
+	}
+	if err := e.BulkLoad(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	scan := queryInts(t, e, "SELECT v, COUNT(*) FROM big WHERE k = 7 GROUP BY v ORDER BY v")
+	e.MustExec("CREATE INDEX ik ON big (k)")
+	pagesBefore := e.Meter().Count(sim.CtrServerPages)
+	probesBefore := e.Meter().Count(sim.CtrIndexProbes)
+	idx := queryInts(t, e, "SELECT v, COUNT(*) FROM big WHERE k = 7 GROUP BY v ORDER BY v")
+	if !reflect.DeepEqual(scan, idx) {
+		t.Errorf("index result %v differs from scan %v", idx, scan)
+	}
+	if e.Meter().Count(sim.CtrIndexProbes) == probesBefore {
+		t.Error("indexed query did not probe the index")
+	}
+	_ = pagesBefore
+}
+
+func TestIndexMaintainedByInsert(t *testing.T) {
+	e := newEngine()
+	e.MustExec("CREATE TABLE u (x INT, y INT)")
+	e.MustExec("CREATE INDEX ix ON u (x)")
+	e.MustExec("INSERT INTO u VALUES (5, 1), (5, 2), (6, 3)")
+	got := queryInts(t, e, "SELECT y FROM u WHERE x = 5 ORDER BY y")
+	if !reflect.DeepEqual(got, [][]int64{{1}, {2}}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDuplicateIndexRejected(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	e.MustExec("CREATE INDEX i1 ON t (a)")
+	if _, err := e.Exec("CREATE INDEX i2 ON t (a)"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := e.Exec("CREATE INDEX i3 ON t (nope)"); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	for _, sql := range []string{
+		"SELECT nope FROM t",
+		"SELECT a FROM missing",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t VALUES ('s', 1, 2)",
+		"SELECT a FROM t WHERE a = 'x'",
+		"SELECT a + 'x' FROM t",
+		"SELECT SUM('x') FROM t",
+		"SELECT a FROM t UNION SELECT a, b FROM t",
+		"SELECT a FROM t ORDER BY nope",
+	} {
+		if _, err := e.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestUnionArmsEachScan(t *testing.T) {
+	// The engine must NOT share scans across UNION arms (§2.3: optimizers
+	// do not exploit the commonality) — the middleware's whole reason to
+	// exist. Verify pages read scale with the number of arms.
+	costOf := func(arms int) int64 {
+		// A buffer pool smaller than the table, as in any scan-bound
+		// workload: each arm's scan re-reads from disk.
+		e := New(sim.NewDefaultMeter(), 2)
+		tbl, _ := e.CreateTable("w", []string{"a", "b"})
+		var rows []data.Row
+		for i := 0; i < 30000; i++ {
+			rows = append(rows, data.Row{data.Value(i % 4), data.Value(i % 7)})
+		}
+		e.BulkLoad(tbl, rows)
+		sql := ""
+		for i := 0; i < arms; i++ {
+			if i > 0 {
+				sql += " UNION ALL "
+			}
+			sql += fmt.Sprintf("SELECT %d, a, COUNT(*) FROM w GROUP BY a", i)
+		}
+		e.MustExec(sql)
+		return e.Meter().Count(sim.CtrServerPages)
+	}
+	one, four := costOf(1), costOf(4)
+	if four < 4*one {
+		t.Errorf("4 arms read %d pages, 1 arm %d; arms must scan independently", four, one)
+	}
+}
+
+func TestQueryStartupChargedPerStatement(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	before := e.Meter().Count(sim.CtrSQLStatements)
+	e.MustExec("SELECT a FROM t")
+	e.MustExec("SELECT b FROM t")
+	if got := e.Meter().Count(sim.CtrSQLStatements) - before; got != 2 {
+		t.Errorf("statements = %d, want 2", got)
+	}
+}
+
+// --- Server cursor surface ---
+
+func testDataset(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	s := data.NewSchema(3, 4, 2)
+	ds := data.NewDataset(s)
+	for i := 0; i < n; i++ {
+		ds.Append(data.Row{
+			data.Value(rng.Intn(4)), data.Value(rng.Intn(4)),
+			data.Value(rng.Intn(4)), data.Value(rng.Intn(2)),
+		})
+	}
+	return ds
+}
+
+func newTestServer(t *testing.T, n int) (*Server, *data.Dataset) {
+	t.Helper()
+	ds := testDataset(n, 7)
+	srv, err := NewServer(newEngine(), "cases", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ds
+}
+
+func collect(c Cursor) []data.Row {
+	var out []data.Row
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r.Clone())
+	}
+	c.Close()
+	return out
+}
+
+func TestScanCursorFilterExact(t *testing.T) {
+	srv, ds := newTestServer(t, 500)
+	filter := predicate.Or(
+		predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 1}},
+		predicate.Conj{{Attr: 1, Op: predicate.Ne, Val: 2}, {Attr: 2, Op: predicate.Eq, Val: 3}},
+	)
+	got := collect(srv.OpenScan(filter))
+	var want []data.Row
+	for _, r := range ds.Rows {
+		if filter.Eval(r) {
+			want = append(want, r)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Exactly the matching rows were transmitted.
+	if tx := srv.Meter().Count(sim.CtrRowsTransmitted); tx != int64(len(want)) {
+		t.Errorf("transmitted %d rows, want %d", tx, len(want))
+	}
+	// But every row was evaluated at the server.
+	if ev := srv.Meter().Count(sim.CtrServerRows); ev != int64(ds.N()) {
+		t.Errorf("evaluated %d rows, want %d", ev, ds.N())
+	}
+}
+
+func TestScanCursorMatchAllAndCloseEarly(t *testing.T) {
+	srv, ds := newTestServer(t, 100)
+	c := srv.OpenScan(predicate.MatchAll())
+	r, ok := c.Next()
+	if !ok || len(r) != ds.Schema.NumCols() {
+		t.Fatal("first row missing")
+	}
+	c.Close()
+	if _, ok := c.Next(); ok {
+		t.Error("Next after Close returned a row")
+	}
+}
+
+func TestKeysetCursor(t *testing.T) {
+	srv, ds := newTestServer(t, 400)
+	base := predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 2}})
+	ks := srv.OpenKeyset(base)
+	var wantN int
+	for _, r := range ds.Rows {
+		if base.Eval(r) {
+			wantN++
+		}
+	}
+	if ks.Size() != wantN {
+		t.Fatalf("keyset size %d, want %d", ks.Size(), wantN)
+	}
+
+	// Without a stored procedure every keyset row is transmitted.
+	before := srv.Meter().Count(sim.CtrRowsTransmitted)
+	all := collect(ks.OpenScan(nil))
+	if len(all) != wantN {
+		t.Errorf("keyset scan returned %d rows", len(all))
+	}
+	if got := srv.Meter().Count(sim.CtrRowsTransmitted) - before; got != int64(wantN) {
+		t.Errorf("transmitted %d, want %d", got, wantN)
+	}
+
+	// With a stored-procedure filter only the narrowed subset crosses.
+	narrow := predicate.Or(predicate.Conj{
+		{Attr: 0, Op: predicate.Eq, Val: 2}, {Attr: 1, Op: predicate.Eq, Val: 1},
+	})
+	before = srv.Meter().Count(sim.CtrRowsTransmitted)
+	sub := collect(ks.OpenScan(&narrow))
+	var wantSub int
+	for _, r := range ds.Rows {
+		if narrow.Eval(r) {
+			wantSub++
+		}
+	}
+	if len(sub) != wantSub {
+		t.Errorf("sproc scan returned %d rows, want %d", len(sub), wantSub)
+	}
+	if got := srv.Meter().Count(sim.CtrRowsTransmitted) - before; got != int64(wantSub) {
+		t.Errorf("sproc transmitted %d, want %d", got, wantSub)
+	}
+}
+
+func TestTIDJoin(t *testing.T) {
+	srv, ds := newTestServer(t, 400)
+	base := predicate.Or(predicate.Conj{{Attr: 2, Op: predicate.Ne, Val: 0}})
+	tt := srv.CopyTIDs(base)
+	narrow := predicate.Or(predicate.Conj{
+		{Attr: 2, Op: predicate.Ne, Val: 0}, {Attr: 0, Op: predicate.Eq, Val: 1},
+	})
+	got := collect(tt.OpenJoin(narrow))
+	var want int
+	for _, r := range ds.Rows {
+		if narrow.Eval(r) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("TID join returned %d rows, want %d", len(got), want)
+	}
+	if probes := srv.Meter().Count(sim.CtrIndexProbes); probes < int64(tt.Size()) {
+		t.Errorf("TID join probed %d times, want >= %d", probes, tt.Size())
+	}
+}
+
+func TestCopySubset(t *testing.T) {
+	srv, ds := newTestServer(t, 300)
+	f := predicate.Or(predicate.Conj{{Attr: 1, Op: predicate.Eq, Val: 0}})
+	sub, err := srv.CopySubset(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, r := range ds.Rows {
+		if f.Eval(r) {
+			want++
+		}
+	}
+	if sub.NumRows() != want {
+		t.Errorf("subset has %d rows, want %d", sub.NumRows(), want)
+	}
+	// Scanning the subset returns only matching rows.
+	got := collect(sub.OpenScan(predicate.MatchAll()))
+	if int64(len(got)) != want {
+		t.Errorf("subset scan returned %d rows", len(got))
+	}
+	if err := sub.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Engine().Exec("SELECT * FROM " + sub.TableName()); err == nil {
+		t.Error("dropped temp table still queryable")
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	srv, ds := newTestServer(t, 100)
+	if srv.NumRows() != int64(ds.N()) {
+		t.Error("NumRows")
+	}
+	if srv.Schema() != ds.Schema {
+		t.Error("Schema")
+	}
+	if srv.TableName() != "cases" {
+		t.Error("TableName")
+	}
+	if srv.DataBytes() <= 0 {
+		t.Error("DataBytes")
+	}
+}
+
+// TestSelectAgainstReference cross-checks the executor against a direct
+// in-memory evaluation for randomized conjunctive/disjunctive predicates.
+func TestSelectAgainstReference(t *testing.T) {
+	srv, ds := newTestServer(t, 800)
+	e := srv.Engine()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		a1 := rng.Intn(3)
+		v1 := rng.Intn(4)
+		a2 := rng.Intn(3)
+		v2 := rng.Intn(4)
+		op2 := "="
+		if rng.Intn(2) == 0 {
+			op2 = "<>"
+		}
+		comb := "AND"
+		if rng.Intn(2) == 0 {
+			comb = "OR"
+		}
+		sql := fmt.Sprintf("SELECT COUNT(*) FROM cases WHERE A%d = %d %s A%d %s %d",
+			a1+1, v1, comb, a2+1, op2, v2)
+		got := queryInts(t, e, sql)[0][0]
+		var want int64
+		for _, r := range ds.Rows {
+			c1 := r[a1] == data.Value(v1)
+			c2 := r[a2] == data.Value(v2)
+			if op2 == "<>" {
+				c2 = !c2
+			}
+			m := c1 && c2
+			if comb == "OR" {
+				m = c1 || c2
+			}
+			if m {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("%s: got %d, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestValOrdering(t *testing.T) {
+	a, b := IntVal(1), IntVal(2)
+	if !a.less(b) || b.less(a) || !a.equal(IntVal(1)) {
+		t.Error("int ordering")
+	}
+	s1, s2 := StrVal("a"), StrVal("b")
+	if !s1.less(s2) || s2.less(s1) {
+		t.Error("string ordering")
+	}
+	if !a.less(s1) || s1.less(a) {
+		t.Error("ints must order before strings")
+	}
+	if a.String() != "1" || s1.String() != "a" {
+		t.Error("String()")
+	}
+}
+
+func TestResultSetString(t *testing.T) {
+	rs := &ResultSet{Cols: []string{"x", "long"}, Rows: [][]Val{{IntVal(1), StrVal("v")}}}
+	s := rs.String()
+	if s == "" || s[0] != 'x' {
+		t.Errorf("render = %q", s)
+	}
+}

@@ -1,0 +1,912 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/sim"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+)
+
+// Val is one result-set value: an integer or a string.
+type Val struct {
+	I   int64
+	S   string
+	Str bool
+}
+
+// IntVal and StrVal construct result values.
+func IntVal(i int64) Val  { return Val{I: i} }
+func StrVal(s string) Val { return Val{S: s, Str: true} }
+
+// String renders the value.
+func (v Val) String() string {
+	if v.Str {
+		return v.S
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// less orders values: integers before strings, then by value.
+func (v Val) less(o Val) bool {
+	if v.Str != o.Str {
+		return !v.Str
+	}
+	if v.Str {
+		return v.S < o.S
+	}
+	return v.I < o.I
+}
+
+func (v Val) equal(o Val) bool { return v == o }
+
+// ResultSet is the materialized result of a query.
+type ResultSet struct {
+	Cols []string
+	Rows [][]Val
+}
+
+// String renders the result set as an aligned text table.
+func (rs *ResultSet) String() string {
+	widths := make([]int, len(rs.Cols))
+	for i, c := range rs.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rs.Rows))
+	for ri, r := range rs.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range rs.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Exec parses and executes one SQL statement, charging the per-statement
+// QueryStartup cost. DDL and DML statements return a nil result set.
+func (e *Engine) Exec(sql string) (*ResultSet, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.meter.Charge(sim.CtrSQLStatements, e.meter.Costs().QueryStartup, 1)
+	switch s := st.(type) {
+	case *sqlparser.Select:
+		return e.execSelect(s)
+	case *sqlparser.CreateTable:
+		cols := make([]string, len(s.Cols))
+		for i, c := range s.Cols {
+			cols[i] = c.Name
+		}
+		_, err := e.CreateTable(s.Name, cols)
+		return nil, err
+	case *sqlparser.CreateIndex:
+		t, err := e.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		_, err = e.CreateIndex(t, s.Col)
+		return nil, err
+	case *sqlparser.Insert:
+		return nil, e.execInsert(s)
+	case *sqlparser.Delete:
+		return nil, e.execDelete(s)
+	case *sqlparser.DropTable:
+		return nil, e.DropTable(s.Name)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// MustExec executes sql and panics on error; intended for test and example
+// setup code.
+func (e *Engine) MustExec(sql string) *ResultSet {
+	rs, err := e.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func (e *Engine) execInsert(s *sqlparser.Insert) error {
+	t, err := e.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(t.Cols) {
+			return fmt.Errorf("engine: insert into %q: %d values, want %d", t.Name, len(exprRow), len(t.Cols))
+		}
+		row := make(data.Row, len(exprRow))
+		for i, ex := range exprRow {
+			v, err := evalConst(ex)
+			if err != nil {
+				return err
+			}
+			if v.Str {
+				return fmt.Errorf("engine: insert into %q: string values are not storable (column %s)", t.Name, t.Cols[i])
+			}
+			row[i] = data.Value(v.I)
+		}
+		if _, err := e.Insert(t, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execDelete rebuilds the heap without the matching rows (the heap layer is
+// append-only).
+func (e *Engine) execDelete(s *sqlparser.Delete) error {
+	t, err := e.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	var pred func(data.Row) (bool, error)
+	if s.Where != nil {
+		ev, err := compileExpr(s.Where, t)
+		if err != nil {
+			return err
+		}
+		pred = func(r data.Row) (bool, error) {
+			v, err := ev(r)
+			if err != nil {
+				return false, err
+			}
+			return !v.Str && v.I != 0, nil
+		}
+	}
+	var keep []data.Row
+	var scanErr error
+	e.scan(t, func(_ storage.TID, row data.Row) bool {
+		if pred == nil {
+			return true // delete all: keep nothing
+		}
+		m, err := pred(row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !m {
+			keep = append(keep, row.Clone())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	name, cols := t.Name, t.Cols
+	if err := e.DropTable(name); err != nil {
+		return err
+	}
+	nt, err := e.CreateTable(name, cols)
+	if err != nil {
+		return err
+	}
+	e.meter.Charge(sim.CtrServerRows, e.meter.Costs().ServerRowWrite, int64(len(keep)))
+	return e.BulkLoad(nt, keep)
+}
+
+// evaluator computes an expression over one row of a table (or over the
+// concatenated row of a join).
+type evaluator func(data.Row) (Val, error)
+
+// colResolver resolves a column name (possibly alias-qualified) to its
+// position in the rows the evaluators receive. *Table and *relation satisfy
+// it.
+type colResolver interface {
+	ColIndex(name string) int
+}
+
+// compileExpr compiles a non-aggregate expression against a column resolver.
+func compileExpr(ex sqlparser.Expr, t colResolver) (evaluator, error) {
+	switch x := ex.(type) {
+	case *sqlparser.IntLit:
+		v := Val{I: x.Val}
+		return func(data.Row) (Val, error) { return v, nil }, nil
+	case *sqlparser.StringLit:
+		v := Val{S: x.Val, Str: true}
+		return func(data.Row) (Val, error) { return v, nil }, nil
+	case *sqlparser.ColumnRef:
+		ci := t.ColIndex(x.Name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", x.Name)
+		}
+		return func(r data.Row) (Val, error) { return Val{I: int64(r[ci])}, nil }, nil
+	case *sqlparser.NotExpr:
+		sub, err := compileExpr(x.E, t)
+		if err != nil {
+			return nil, err
+		}
+		return func(r data.Row) (Val, error) {
+			v, err := sub(r)
+			if err != nil {
+				return Val{}, err
+			}
+			if v.Str {
+				return Val{}, fmt.Errorf("engine: NOT applied to string")
+			}
+			return Val{I: b2i(v.I == 0)}, nil
+		}, nil
+	case *sqlparser.BinaryExpr:
+		l, err := compileExpr(x.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.R, t)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(row data.Row) (Val, error) {
+			lv, err := l(row)
+			if err != nil {
+				return Val{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return Val{}, err
+			}
+			return applyBinary(op, lv, rv)
+		}, nil
+	case *sqlparser.CountStar, *sqlparser.AggExpr:
+		return nil, fmt.Errorf("engine: aggregate %s in a non-aggregate context", ex)
+	}
+	return nil, fmt.Errorf("engine: unsupported expression %T", ex)
+}
+
+// evalConst evaluates an expression with no column references.
+func evalConst(ex sqlparser.Expr) (Val, error) {
+	switch x := ex.(type) {
+	case *sqlparser.IntLit:
+		return Val{I: x.Val}, nil
+	case *sqlparser.StringLit:
+		return Val{S: x.Val, Str: true}, nil
+	case *sqlparser.BinaryExpr:
+		l, err := evalConst(x.L)
+		if err != nil {
+			return Val{}, err
+		}
+		r, err := evalConst(x.R)
+		if err != nil {
+			return Val{}, err
+		}
+		return applyBinary(x.Op, l, r)
+	}
+	return Val{}, fmt.Errorf("engine: expression %s is not constant", ex)
+}
+
+func applyBinary(op string, l, r Val) (Val, error) {
+	switch op {
+	case "AND":
+		return Val{I: b2i(truthy(l) && truthy(r))}, nil
+	case "OR":
+		return Val{I: b2i(truthy(l) || truthy(r))}, nil
+	}
+	if l.Str != r.Str {
+		return Val{}, fmt.Errorf("engine: type mismatch in %q comparison", op)
+	}
+	switch op {
+	case "=":
+		return Val{I: b2i(l.equal(r))}, nil
+	case "<>":
+		return Val{I: b2i(!l.equal(r))}, nil
+	case "<":
+		return Val{I: b2i(l.less(r))}, nil
+	case "<=":
+		return Val{I: b2i(!r.less(l))}, nil
+	case ">":
+		return Val{I: b2i(r.less(l))}, nil
+	case ">=":
+		return Val{I: b2i(!l.less(r))}, nil
+	case "+", "-":
+		if l.Str || r.Str {
+			return Val{}, fmt.Errorf("engine: arithmetic on strings")
+		}
+		if op == "+" {
+			return Val{I: l.I + r.I}, nil
+		}
+		return Val{I: l.I - r.I}, nil
+	}
+	return Val{}, fmt.Errorf("engine: unsupported operator %q", op)
+}
+
+func truthy(v Val) bool { return !v.Str && v.I != 0 }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn    string // "COUNT*", "COUNT", "SUM", "MIN", "MAX"
+	arg   evaluator
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	any   bool
+}
+
+func (a *aggState) update(r data.Row) error {
+	if a.fn == "COUNT*" {
+		a.count++
+		return nil
+	}
+	v, err := a.arg(r)
+	if err != nil {
+		return err
+	}
+	if v.Str {
+		return fmt.Errorf("engine: aggregate over string value")
+	}
+	a.count++
+	a.sum += v.I
+	if !a.any || v.I < a.min {
+		a.min = v.I
+	}
+	if !a.any || v.I > a.max {
+		a.max = v.I
+	}
+	a.any = true
+	return nil
+}
+
+func (a *aggState) value() Val {
+	switch a.fn {
+	case "COUNT*", "COUNT":
+		return Val{I: a.count}
+	case "SUM":
+		return Val{I: a.sum}
+	case "MIN":
+		return Val{I: a.min}
+	case "MAX":
+		return Val{I: a.max}
+	case "AVG":
+		// Integer average (the engine stores categorical codes; a
+		// truncated mean suffices for the supported workloads).
+		if a.count == 0 {
+			return Val{}
+		}
+		return Val{I: a.sum / a.count}
+	}
+	return Val{}
+}
+
+func (a *aggState) clone() *aggState {
+	c := *a
+	return &c
+}
+
+// execSelect executes a full Select: each core independently (its own scan —
+// the engine does not share scans across UNION arms), then UNION
+// combination, then ORDER BY.
+func (e *Engine) execSelect(s *sqlparser.Select) (*ResultSet, error) {
+	var out *ResultSet
+	for i := range s.Cores {
+		rs, err := e.execCore(&s.Cores[i])
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = rs
+			continue
+		}
+		if len(rs.Cols) != len(out.Cols) {
+			return nil, fmt.Errorf("engine: UNION arms have %d and %d columns", len(out.Cols), len(rs.Cols))
+		}
+		out.Rows = append(out.Rows, rs.Rows...)
+		if !s.UnionAll[i-1] {
+			out.Rows = dedupeRows(out.Rows)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		if err := e.orderBy(out, s.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if s.Limit >= 0 && int64(len(out.Rows)) > s.Limit {
+		out.Rows = out.Rows[:s.Limit]
+	}
+	// Result rows cross the wire to the caller.
+	e.meter.Charge(sim.CtrRowsTransmitted, e.meter.Costs().RowTransmit, int64(len(out.Rows)))
+	return out, nil
+}
+
+func dedupeRows(rows [][]Val) [][]Val {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var key strings.Builder
+	for _, r := range rows {
+		key.Reset()
+		for _, v := range r {
+			if v.Str {
+				key.WriteByte('s')
+				key.WriteString(v.S)
+			} else {
+				fmt.Fprintf(&key, "i%d", v.I)
+			}
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// orderBy sorts the result set. Order keys that are column references are
+// resolved against the result's output column names; other expressions are
+// not supported at this level (the paper's queries never need them).
+func (e *Engine) orderBy(rs *ResultSet, keys []sqlparser.OrderItem) error {
+	type keySpec struct {
+		col  int
+		desc bool
+	}
+	specs := make([]keySpec, len(keys))
+	for i, k := range keys {
+		cr, ok := k.Expr.(*sqlparser.ColumnRef)
+		if !ok {
+			return fmt.Errorf("engine: ORDER BY supports output column names only, got %s", k.Expr)
+		}
+		ci := -1
+		for j, c := range rs.Cols {
+			if c == cr.Name {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			// Fall back to matching the bare column name against
+			// alias-qualified output columns (and vice versa), requiring
+			// uniqueness.
+			for j, c := range rs.Cols {
+				if lastSegment(c) == lastSegment(cr.Name) {
+					if ci >= 0 {
+						return fmt.Errorf("engine: ORDER BY column %q is ambiguous", cr.Name)
+					}
+					ci = j
+				}
+			}
+		}
+		if ci < 0 {
+			return fmt.Errorf("engine: ORDER BY references unknown output column %q", cr.Name)
+		}
+		specs[i] = keySpec{col: ci, desc: k.Desc}
+	}
+	sort.SliceStable(rs.Rows, func(a, b int) bool {
+		for _, sp := range specs {
+			va, vb := rs.Rows[a][sp.col], rs.Rows[b][sp.col]
+			if va.equal(vb) {
+				continue
+			}
+			if sp.desc {
+				return vb.less(va)
+			}
+			return va.less(vb)
+		}
+		return false
+	})
+	return nil
+}
+
+// execCore executes one SELECT ... FROM ... WHERE ... GROUP BY block with a
+// full table scan (using an index only for a simple single-column equality
+// WHERE clause).
+func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
+	rel, err := e.buildRelation(c)
+	if err != nil {
+		return nil, err
+	}
+	t := rel // column resolver for expression compilation
+
+	// Compile WHERE.
+	var where evaluator
+	if c.Where != nil {
+		where, err = compileExpr(c.Where, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Classify projection items, expand *.
+	type item struct {
+		name string
+		eval evaluator // nil for aggregates
+		agg  *aggState // nil for scalars
+	}
+	var items []item
+	hasAgg := false
+	for _, si := range c.Items {
+		if si.Star {
+			for _, col := range rel.cols {
+				ev, _ := compileExpr(&sqlparser.ColumnRef{Name: col}, t)
+				items = append(items, item{name: col, eval: ev})
+			}
+			continue
+		}
+		name := si.Alias
+		if name == "" {
+			name = si.Expr.String()
+		}
+		switch x := si.Expr.(type) {
+		case *sqlparser.CountStar:
+			items = append(items, item{name: name, agg: &aggState{fn: "COUNT*"}})
+			hasAgg = true
+		case *sqlparser.AggExpr:
+			argEval, err := compileExpr(x.Arg, t)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item{name: name, agg: &aggState{fn: x.Func, arg: argEval}})
+			hasAgg = true
+		default:
+			ev, err := compileExpr(si.Expr, t)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item{name: name, eval: ev})
+		}
+	}
+	cols := make([]string, len(items))
+	for i, it := range items {
+		cols[i] = it.name
+	}
+
+	grouped := hasAgg || len(c.GroupBy) > 0
+
+	// Group-by key evaluators.
+	var groupEvals []evaluator
+	for _, g := range c.GroupBy {
+		ev, err := compileExpr(g, t)
+		if err != nil {
+			return nil, err
+		}
+		groupEvals = append(groupEvals, ev)
+	}
+
+	rs := &ResultSet{Cols: cols}
+
+	// scanSource drives rows through fn: an index probe (simple equality
+	// WHERE on an indexed single-table column), or a sequential scan of the
+	// relation with the WHERE filter applied.
+	scanSource := func(fn func(data.Row) error) error {
+		if rel.table != nil {
+			if col, lo, hi, ok := simpleRange(c.Where, rel.table); ok {
+				if idx, has := rel.table.indexes[col]; has {
+					var row data.Row
+					for _, tid := range e.LookupRange(idx, lo, hi) {
+						row, err = e.fetch(rel.table, tid, row)
+						if err != nil {
+							return err
+						}
+						if ferr := fn(row); ferr != nil {
+							return ferr
+						}
+					}
+					return nil
+				}
+			}
+		}
+		return rel.iterate(func(row data.Row) error {
+			if where != nil {
+				v, err := where(row)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					return nil
+				}
+			}
+			return fn(row)
+		})
+	}
+
+	if !grouped {
+		err := scanSource(func(row data.Row) error {
+			out := make([]Val, len(items))
+			for i, it := range items {
+				v, err := it.eval(row)
+				if err != nil {
+					return err
+				}
+				out[i] = v
+			}
+			rs.Rows = append(rs.Rows, out)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if c.Distinct {
+			rs.Rows = dedupeRows(rs.Rows)
+		}
+		return rs, nil
+	}
+
+	// Grouped execution: hash aggregation.
+	type group struct {
+		scalars []Val // values of non-aggregate items, from the first row
+		aggs    []*aggState
+		hidden  []*aggState // aggregates appearing only in HAVING
+		rep     data.Row    // representative row (for HAVING column refs)
+		order   int
+	}
+	groups := make(map[string]*group)
+	var orderSeq int
+	aggCost := e.meter.Costs().SQLAggRow
+
+	// Compile HAVING: aggregate subexpressions become hidden per-group
+	// states; column references read the group's representative row.
+	var hiddenTpl []*aggState
+	var havingFn func(hidden []*aggState, rep data.Row) (Val, error)
+	if c.Having != nil {
+		havingFn, err = compileHaving(c.Having, t, &hiddenTpl)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	err = scanSource(func(row data.Row) error {
+		e.meter.Charge(sim.CtrSQLAggRows, aggCost, 1)
+		var key strings.Builder
+		for _, ge := range groupEvals {
+			v, err := ge(row)
+			if err != nil {
+				return err
+			}
+			if v.Str {
+				key.WriteByte('s')
+				key.WriteString(v.S)
+			} else {
+				fmt.Fprintf(&key, "i%d", v.I)
+			}
+			key.WriteByte('\x00')
+		}
+		k := key.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{order: orderSeq}
+			orderSeq++
+			for _, it := range items {
+				if it.agg != nil {
+					g.aggs = append(g.aggs, it.agg.clone())
+				} else {
+					v, err := it.eval(row)
+					if err != nil {
+						return err
+					}
+					g.scalars = append(g.scalars, v)
+					g.aggs = append(g.aggs, nil)
+				}
+			}
+			for _, h := range hiddenTpl {
+				g.hidden = append(g.hidden, h.clone())
+			}
+			if havingFn != nil {
+				g.rep = row.Clone()
+			}
+			groups[k] = g
+		}
+		for _, a := range g.aggs {
+			if a != nil {
+				if err := a.update(row); err != nil {
+					return err
+				}
+			}
+		}
+		for _, a := range g.hidden {
+			if err := a.update(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// An aggregate with no GROUP BY over empty input still yields one row
+	// (COUNT(*) = 0; SUM/MIN/MAX degenerate to 0 since the engine has no
+	// NULL).
+	if len(groups) == 0 && len(groupEvals) == 0 {
+		g := &group{}
+		for _, it := range items {
+			if it.agg != nil {
+				g.aggs = append(g.aggs, it.agg.clone())
+			} else {
+				g.scalars = append(g.scalars, Val{})
+				g.aggs = append(g.aggs, nil)
+			}
+		}
+		groups[""] = g
+	}
+
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+	for _, g := range ordered {
+		if havingFn != nil {
+			keep, err := havingFn(g.hidden, g.rep)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(keep) {
+				continue
+			}
+		}
+		out := make([]Val, len(items))
+		si := 0
+		for i := range items {
+			if g.aggs[i] != nil {
+				out[i] = g.aggs[i].value()
+			} else {
+				out[i] = g.scalars[si]
+				si++
+			}
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}
+
+// compileHaving compiles a HAVING expression: aggregate subexpressions are
+// registered as hidden per-group aggregate templates (appended to tpl) and
+// read back by index at evaluation time; column references evaluate against
+// the group's representative row.
+func compileHaving(ex sqlparser.Expr, t colResolver, tpl *[]*aggState) (func([]*aggState, data.Row) (Val, error), error) {
+	switch x := ex.(type) {
+	case *sqlparser.IntLit:
+		v := Val{I: x.Val}
+		return func([]*aggState, data.Row) (Val, error) { return v, nil }, nil
+	case *sqlparser.StringLit:
+		v := Val{S: x.Val, Str: true}
+		return func([]*aggState, data.Row) (Val, error) { return v, nil }, nil
+	case *sqlparser.ColumnRef:
+		ci := t.ColIndex(x.Name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: HAVING references unknown column %q", x.Name)
+		}
+		return func(_ []*aggState, rep data.Row) (Val, error) {
+			return Val{I: int64(rep[ci])}, nil
+		}, nil
+	case *sqlparser.CountStar:
+		idx := len(*tpl)
+		*tpl = append(*tpl, &aggState{fn: "COUNT*"})
+		return func(hidden []*aggState, _ data.Row) (Val, error) {
+			return hidden[idx].value(), nil
+		}, nil
+	case *sqlparser.AggExpr:
+		argEval, err := compileExpr(x.Arg, t)
+		if err != nil {
+			return nil, err
+		}
+		idx := len(*tpl)
+		*tpl = append(*tpl, &aggState{fn: x.Func, arg: argEval})
+		return func(hidden []*aggState, _ data.Row) (Val, error) {
+			return hidden[idx].value(), nil
+		}, nil
+	case *sqlparser.NotExpr:
+		sub, err := compileHaving(x.E, t, tpl)
+		if err != nil {
+			return nil, err
+		}
+		return func(hidden []*aggState, rep data.Row) (Val, error) {
+			v, err := sub(hidden, rep)
+			if err != nil {
+				return Val{}, err
+			}
+			return Val{I: b2i(!truthy(v))}, nil
+		}, nil
+	case *sqlparser.BinaryExpr:
+		l, err := compileHaving(x.L, t, tpl)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileHaving(x.R, t, tpl)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(hidden []*aggState, rep data.Row) (Val, error) {
+			lv, err := l(hidden, rep)
+			if err != nil {
+				return Val{}, err
+			}
+			rv, err := r(hidden, rep)
+			if err != nil {
+				return Val{}, err
+			}
+			return applyBinary(op, lv, rv)
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported HAVING expression %T", ex)
+}
+
+// lastSegment returns the part of a column name after the final dot.
+func lastSegment(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// simpleEquality reports whether the WHERE clause is exactly "col = int" on
+// a column of t, enabling an index probe.
+func simpleEquality(where sqlparser.Expr, t *Table) (col string, val data.Value, ok bool) {
+	be, isBin := where.(*sqlparser.BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return "", 0, false
+	}
+	cr, lcol := be.L.(*sqlparser.ColumnRef)
+	il, rint := be.R.(*sqlparser.IntLit)
+	if lcol && rint && t.ColIndex(cr.Name) >= 0 {
+		return cr.Name, data.Value(il.Val), true
+	}
+	cr2, rcol := be.R.(*sqlparser.ColumnRef)
+	il2, lint := be.L.(*sqlparser.IntLit)
+	if rcol && lint && t.ColIndex(cr2.Name) >= 0 {
+		return cr2.Name, data.Value(il2.Val), true
+	}
+	return "", 0, false
+}
+
+// simpleRange recognizes a WHERE clause of the form "col OP int" (OP one of
+// =, <, <=, >, >=) on a column of t and returns the equivalent closed key
+// range for a B-tree scan.
+func simpleRange(where sqlparser.Expr, t *Table) (col string, lo, hi int64, ok bool) {
+	if c, v, eq := simpleEquality(where, t); eq {
+		return c, int64(v), int64(v), true
+	}
+	be, isBin := where.(*sqlparser.BinaryExpr)
+	if !isBin {
+		return "", 0, 0, false
+	}
+	cr, lcol := be.L.(*sqlparser.ColumnRef)
+	il, rint := be.R.(*sqlparser.IntLit)
+	if !lcol || !rint || t.ColIndex(cr.Name) < 0 {
+		return "", 0, 0, false
+	}
+	const inf = int64(1) << 40
+	switch be.Op {
+	case "<":
+		return cr.Name, -inf, il.Val - 1, true
+	case "<=":
+		return cr.Name, -inf, il.Val, true
+	case ">":
+		return cr.Name, il.Val + 1, inf, true
+	case ">=":
+		return cr.Name, il.Val, inf, true
+	}
+	return "", 0, 0, false
+}

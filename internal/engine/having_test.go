@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/sim"
+)
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestHavingFiltersGroups(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 2 ORDER BY a")
+	want := [][]int64{{1, 2}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestHavingWithAggregateNotInProjection(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	// SUM(b) per a: a=1 -> 40, a=2 -> 30, a=3 -> 10.
+	got := queryInts(t, e, "SELECT a FROM t GROUP BY a HAVING SUM(b) > 25 ORDER BY a")
+	want := [][]int64{{1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestHavingOnGroupColumn(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT a, COUNT(*) FROM t GROUP BY a HAVING a <> 2 AND COUNT(*) > 0 ORDER BY a")
+	want := [][]int64{{1, 2}, {3, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	if _, err := e.Exec("SELECT a FROM t GROUP BY a HAVING nope = 1"); err == nil {
+		t.Error("unknown column in HAVING accepted")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT b FROM t ORDER BY b DESC LIMIT 2")
+	want := [][]int64{{30}, {20}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got := queryInts(t, e, "SELECT b FROM t LIMIT 0"); len(got) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(got))
+	}
+	// LIMIT larger than the result is a no-op.
+	if got := queryInts(t, e, "SELECT b FROM t LIMIT 100"); len(got) != 5 {
+		t.Errorf("LIMIT 100 returned %d rows", len(got))
+	}
+}
+
+func TestAvg(t *testing.T) {
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT a, AVG(b) FROM t GROUP BY a ORDER BY a")
+	// a=1: (10+30)/2=20; a=2: (20+10)/2=15; a=3: 10.
+	want := [][]int64{{1, 20}, {2, 15}, {3, 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// AVG over empty input yields 0 (no NULL in this engine).
+	e.MustExec("CREATE TABLE empty (x INT)")
+	if got := queryInts(t, e, "SELECT AVG(x) FROM empty"); got[0][0] != 0 {
+		t.Errorf("AVG over empty = %d", got[0][0])
+	}
+}
+
+func TestHavingLimitRoundTrip(t *testing.T) {
+	// Parser round-trip for the new clauses (complements parser_test).
+	e := newEngine()
+	seedTable(t, e)
+	got := queryInts(t, e, "SELECT a, COUNT(*) FROM t WHERE c = 0 GROUP BY a HAVING COUNT(*) >= 1 ORDER BY a LIMIT 1")
+	if len(got) != 1 || got[0][0] != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestIndexRangeScanMatchesSeqScan(t *testing.T) {
+	e := newEngine()
+	tbl, _ := e.CreateTable("big", []string{"k", "v"})
+	rng := newTestRng(7)
+	var rows []data.Row
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, data.Row{data.Value(rng.Intn(100)), data.Value(rng.Intn(10))})
+	}
+	if err := e.BulkLoad(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT v, COUNT(*) FROM big WHERE k < 20 GROUP BY v ORDER BY v",
+		"SELECT v, COUNT(*) FROM big WHERE k <= 20 GROUP BY v ORDER BY v",
+		"SELECT v, COUNT(*) FROM big WHERE k > 80 GROUP BY v ORDER BY v",
+		"SELECT v, COUNT(*) FROM big WHERE k >= 80 GROUP BY v ORDER BY v",
+		"SELECT v, COUNT(*) FROM big WHERE k = 42 GROUP BY v ORDER BY v",
+	}
+	var want []string
+	for _, q := range queries {
+		rs, err := e.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rs.String())
+	}
+	e.MustExec("CREATE INDEX ik ON big (k)")
+	for i, q := range queries {
+		probesBefore := e.Meter().Count(sim.CtrIndexProbes)
+		rs, err := e.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.String() != want[i] {
+			t.Errorf("%s: index result differs from scan:\n%s\nvs\n%s", q, rs, want[i])
+		}
+		if e.Meter().Count(sim.CtrIndexProbes) == probesBefore {
+			t.Errorf("%s: did not use the index", q)
+		}
+	}
+}

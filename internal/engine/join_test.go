@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func seedJoinTables(t *testing.T, e *Engine) {
+	t.Helper()
+	e.MustExec("CREATE TABLE orders (id INT, cust INT, amount INT)")
+	e.MustExec("INSERT INTO orders VALUES (1, 10, 5), (2, 10, 7), (3, 20, 3), (4, 30, 9)")
+	e.MustExec("CREATE TABLE customers (id INT, region INT)")
+	e.MustExec("INSERT INTO customers VALUES (10, 1), (20, 2), (40, 3)")
+}
+
+func TestInnerJoinBasic(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	got := queryInts(t, e,
+		"SELECT o.id, c.region FROM orders o JOIN customers c ON o.cust = c.id ORDER BY id")
+	want := [][]int64{{1, 1}, {2, 1}, {3, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinWithoutAliases(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	got := queryInts(t, e,
+		"SELECT amount, region FROM orders JOIN customers ON cust = customers.id ORDER BY amount")
+	want := [][]int64{{3, 2}, {5, 1}, {7, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinWithWhereAndAggregate(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	got := queryInts(t, e,
+		"SELECT c.region, COUNT(*), SUM(o.amount) FROM orders o JOIN customers c ON o.cust = c.id WHERE o.amount > 3 GROUP BY c.region ORDER BY region")
+	want := [][]int64{{1, 2, 12}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinResidualOnCondition(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	// Residual non-equi condition on top of the hash key.
+	got := queryInts(t, e,
+		"SELECT o.id FROM orders o JOIN customers c ON o.cust = c.id AND o.amount > 4 ORDER BY id")
+	want := [][]int64{{1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinStarExpansion(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	rs, err := e.Exec("SELECT * FROM orders o JOIN customers c ON o.cust = c.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"o.id", "o.cust", "o.amount", "c.id", "c.region"}
+	if !reflect.DeepEqual(rs.Cols, wantCols) {
+		t.Errorf("cols = %v, want %v", rs.Cols, wantCols)
+	}
+	if len(rs.Rows) != 3 {
+		t.Errorf("%d rows", len(rs.Rows))
+	}
+}
+
+func TestJoinDuplicateRightMatches(t *testing.T) {
+	e := newEngine()
+	e.MustExec("CREATE TABLE l (k INT, v INT)")
+	e.MustExec("INSERT INTO l VALUES (1, 100), (2, 200)")
+	e.MustExec("CREATE TABLE r (k INT, w INT)")
+	e.MustExec("INSERT INTO r VALUES (1, 11), (1, 12), (2, 21)")
+	got := queryInts(t, e, "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k ORDER BY w")
+	want := [][]int64{{100, 11}, {100, 12}, {200, 21}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinMultiKey(t *testing.T) {
+	e := newEngine()
+	e.MustExec("CREATE TABLE a (x INT, y INT, p INT)")
+	e.MustExec("INSERT INTO a VALUES (1, 1, 7), (1, 2, 8), (2, 1, 9)")
+	e.MustExec("CREATE TABLE b (x INT, y INT, q INT)")
+	e.MustExec("INSERT INTO b VALUES (1, 1, 70), (1, 2, 80), (2, 2, 90)")
+	got := queryInts(t, e, "SELECT a.p, b.q FROM a JOIN b ON a.x = b.x AND a.y = b.y ORDER BY p")
+	want := [][]int64{{7, 70}, {8, 80}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	for _, sql := range []string{
+		"SELECT * FROM orders o JOIN customers c ON o.amount > 3",     // no equality
+		"SELECT * FROM orders o JOIN customers o ON o.cust = o.id",    // duplicate alias
+		"SELECT id FROM orders o JOIN customers c ON o.cust = c.id",   // ambiguous bare column
+		"SELECT * FROM orders o JOIN missing m ON o.cust = m.id",      // unknown table
+		"SELECT o.nope FROM orders o JOIN customers c ON cust = c.id", // unknown column
+	} {
+		if _, err := e.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestInnerKeywordAccepted(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	got := queryInts(t, e,
+		"SELECT COUNT(*) FROM orders o INNER JOIN customers c ON o.cust = c.id")
+	if got[0][0] != 3 {
+		t.Errorf("count = %d", got[0][0])
+	}
+}
+
+func TestQualifiedNamesOnSingleTable(t *testing.T) {
+	e := newEngine()
+	seedJoinTables(t, e)
+	got := queryInts(t, e, "SELECT orders.amount FROM orders WHERE orders.cust = 10 ORDER BY orders.amount")
+	want := [][]int64{{5}, {7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Alias form too.
+	got2 := queryInts(t, e, "SELECT o.amount FROM orders o WHERE o.cust = 20")
+	if !reflect.DeepEqual(got2, [][]int64{{3}}) {
+		t.Errorf("alias form = %v", got2)
+	}
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Server is the OLE-DB-like surface the paper's middleware consumes: a SQL
+// engine plus cursor-based data access against one classification table. It
+// keeps the data.Schema alongside the engine table so that predicates
+// expressed over attribute indices can be pushed down.
+type Server struct {
+	eng    *Engine
+	meter  *sim.Meter
+	schema *data.Schema
+	table  *Table
+}
+
+// NewServer creates a server around an engine and loads the dataset into a
+// table with the given name (bulk load, unmetered).
+func NewServer(eng *Engine, name string, ds *data.Dataset) (*Server, error) {
+	cols := make([]string, ds.Schema.NumCols())
+	for i := range cols {
+		cols[i] = ds.Schema.ColName(i)
+	}
+	t, err := eng.CreateTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.BulkLoad(t, ds.Rows); err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng, meter: eng.Meter(), schema: ds.Schema, table: t}, nil
+}
+
+// Engine returns the underlying SQL engine (for SQL-based baselines).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Meter returns the server's meter.
+func (s *Server) Meter() *sim.Meter { return s.meter }
+
+// Schema returns the classification schema of the data table.
+func (s *Server) Schema() *data.Schema { return s.schema }
+
+// TableName returns the name of the data table.
+func (s *Server) TableName() string { return s.table.Name }
+
+// NumRows returns the number of rows in the data table.
+func (s *Server) NumRows() int64 { return s.table.NumRows() }
+
+// DataBytes returns the on-disk size of the data table.
+func (s *Server) DataBytes() int64 { return s.table.Bytes() }
+
+// Cursor streams rows from the server to the middleware. Next returns the
+// next row (valid until the following call) and whether one was produced.
+type Cursor interface {
+	Next() (data.Row, bool)
+	Close()
+}
+
+// scanCursor is a firehose cursor over the data table with a pushed-down
+// filter: the server evaluates the filter on every row (charging server CPU
+// and page I/O through the buffer pool) and transmits only matching rows
+// (charging RowTransmit each), exactly the §4.3.1 "reducing data transmitted
+// from the server" mechanism.
+type scanCursor struct {
+	s      *Server
+	filter predicate.Filter
+	page   storage.PageID
+	slot   uint16
+	row    data.Row
+	closed bool
+}
+
+// OpenScan initiates a cursor scan of the data table with the filter pushed
+// down, charging the cursor-open cost.
+func (s *Server) OpenScan(f predicate.Filter) Cursor {
+	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
+	return &scanCursor{s: s, filter: f}
+}
+
+func (c *scanCursor) Next() (data.Row, bool) {
+	if c.closed {
+		return nil, false
+	}
+	h := c.s.table.heap
+	ncols := len(c.s.table.Cols)
+	costs := c.s.meter.Costs()
+	for int(c.page) < h.NumPages() {
+		rec, ok := heapRecord(h, c.page, c.slot)
+		if !ok {
+			c.page++
+			c.slot = 0
+			continue
+		}
+		if c.slot == 0 {
+			// First record on the page: account the page read.
+			c.s.eng.bp.TouchForScan(h, c.page)
+		}
+		c.slot++
+		c.row = data.DecodeRow(rec, ncols, c.row)
+		c.s.meter.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+		if c.filter.Eval(c.row) {
+			c.s.meter.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+			return c.row, true
+		}
+	}
+	return nil, false
+}
+
+func (c *scanCursor) Close() { c.closed = true }
+
+// Keyset is a keyset cursor (§4.3.3c): the set of TIDs of rows satisfying a
+// predicate, captured by one qualifying scan. Re-scanning the keyset fetches
+// records by TID; an optional stored-procedure filter restricts which rows
+// are transmitted to the middleware.
+type Keyset struct {
+	s    *Server
+	tids []storage.TID
+}
+
+// OpenKeyset runs the qualifying scan and captures the keyset. The scan
+// charges full sequential-scan costs but transmits nothing.
+func (s *Server) OpenKeyset(f predicate.Filter) *Keyset {
+	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
+	ks := &Keyset{s: s}
+	s.eng.scan(s.table, func(tid storage.TID, row data.Row) bool {
+		if f.Eval(row) {
+			ks.tids = append(ks.tids, tid)
+		}
+		return true
+	})
+	return ks
+}
+
+// Size returns the number of rows captured in the keyset.
+func (k *Keyset) Size() int { return len(k.tids) }
+
+// keysetCursor fetches keyset rows by TID. If sproc is non-nil it is
+// applied at the server so only matching rows are transmitted; with a nil
+// sproc every keyset row is transmitted (the client filters), which is the
+// behaviour the paper improves on with the stored procedure.
+type keysetCursor struct {
+	k      *Keyset
+	sproc  *predicate.Filter
+	i      int
+	row    data.Row
+	closed bool
+}
+
+// OpenScan re-scans the keyset, optionally filtering server-side with the
+// stored procedure sproc.
+func (k *Keyset) OpenScan(sproc *predicate.Filter) Cursor {
+	k.s.meter.Charge(sim.CtrServerScans, k.s.meter.Costs().CursorOpen, 1)
+	return &keysetCursor{k: k, sproc: sproc}
+}
+
+func (c *keysetCursor) Next() (data.Row, bool) {
+	if c.closed {
+		return nil, false
+	}
+	s := c.k.s
+	costs := s.meter.Costs()
+	for c.i < len(c.k.tids) {
+		tid := c.k.tids[c.i]
+		c.i++
+		row, err := s.eng.fetch(s.table, tid, c.row)
+		if err != nil {
+			// TIDs are captured from the same immutable heap; a failed
+			// fetch indicates corruption and cannot occur in normal use.
+			panic(fmt.Sprintf("engine: keyset fetch: %v", err))
+		}
+		c.row = row
+		if c.sproc != nil {
+			s.meter.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+			if !c.sproc.Eval(row) {
+				continue
+			}
+		}
+		s.meter.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+		return row, true
+	}
+	return nil, false
+}
+
+func (c *keysetCursor) Close() { c.closed = true }
+
+// CopySubset copies the rows satisfying f into a new server-side temp table
+// (§4.3.3a) and returns a Server view over it. Charges a full scan plus one
+// server row-write per copied row.
+func (s *Server) CopySubset(f predicate.Filter) (*Server, error) {
+	name := s.eng.tempName()
+	t, err := s.eng.CreateTable(name, s.table.Cols)
+	if err != nil {
+		return nil, err
+	}
+	t.temp = true
+	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
+	costs := s.meter.Costs()
+	var copyErr error
+	s.eng.scan(s.table, func(_ storage.TID, row data.Row) bool {
+		if !f.Eval(row) {
+			return true
+		}
+		if _, err := s.eng.Insert(t, row); err != nil {
+			copyErr = err
+			return false
+		}
+		_ = costs
+		return true
+	})
+	if copyErr != nil {
+		return nil, copyErr
+	}
+	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t}, nil
+}
+
+// Drop removes the server's table (used to free temp tables).
+func (s *Server) Drop() error { return s.eng.DropTable(s.table.Name) }
+
+// TIDTable is the §4.3.3b alternative: the TIDs of the relevant subset are
+// copied into a server-side temp table, and the subset is retrieved with a
+// TID join.
+type TIDTable struct {
+	s    *Server
+	tids []storage.TID
+}
+
+// CopyTIDs captures the TIDs of rows satisfying f into a server-side TID
+// table: one qualifying scan plus one row-write per TID.
+func (s *Server) CopyTIDs(f predicate.Filter) *TIDTable {
+	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
+	tt := &TIDTable{s: s}
+	costs := s.meter.Costs()
+	s.eng.scan(s.table, func(tid storage.TID, row data.Row) bool {
+		if f.Eval(row) {
+			tt.tids = append(tt.tids, tid)
+			s.meter.Charge(sim.CtrServerRows, costs.ServerRowWrite, 1)
+		}
+		return true
+	})
+	return tt
+}
+
+// Size returns the number of TIDs captured.
+func (t *TIDTable) Size() int { return len(t.tids) }
+
+// tidJoinCursor joins the TID table back to the data table: each probe is a
+// random fetch plus join overhead (an index probe per TID).
+type tidJoinCursor struct {
+	t      *TIDTable
+	filter predicate.Filter
+	i      int
+	row    data.Row
+	closed bool
+}
+
+// OpenJoin retrieves the subset via a TID join, applying filter server-side.
+func (t *TIDTable) OpenJoin(filter predicate.Filter) Cursor {
+	t.s.meter.Charge(sim.CtrServerScans, t.s.meter.Costs().CursorOpen, 1)
+	return &tidJoinCursor{t: t, filter: filter}
+}
+
+func (c *tidJoinCursor) Next() (data.Row, bool) {
+	if c.closed {
+		return nil, false
+	}
+	s := c.t.s
+	costs := s.meter.Costs()
+	for c.i < len(c.t.tids) {
+		tid := c.t.tids[c.i]
+		c.i++
+		s.meter.Charge(sim.CtrIndexProbes, costs.IndexProbe, 1)
+		row, err := s.eng.fetch(s.table, tid, c.row)
+		if err != nil {
+			panic(fmt.Sprintf("engine: TID join fetch: %v", err))
+		}
+		c.row = row
+		s.meter.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+		if !c.filter.Eval(row) {
+			continue
+		}
+		s.meter.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+		return row, true
+	}
+	return nil, false
+}
+
+func (c *tidJoinCursor) Close() { c.closed = true }
+
+// heapRecord returns the raw record at (page, slot) if it exists. It peeks
+// directly into the heap (metering is the cursor's responsibility).
+func heapRecord(h *storage.HeapFile, p storage.PageID, s uint16) ([]byte, bool) {
+	return h.Record(storage.TID{Page: p, Slot: s})
+}

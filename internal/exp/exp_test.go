@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllSmoke runs every experiment at a small scale and sanity-checks
+// output structure.
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	exps, err := RunAll(0.4)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(exps) != len(Runners()) {
+		t.Fatalf("got %d experiments, want %d", len(exps), len(Runners()))
+	}
+	for _, e := range exps {
+		if len(e.Series) == 0 {
+			t.Errorf("%s: no series", e.ID)
+		}
+		for _, s := range e.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("%s/%s: no points", e.ID, s.Name)
+			}
+			for _, p := range s.Points {
+				if p.Seconds <= 0 {
+					t.Errorf("%s/%s: non-positive time %v", e.ID, s.Name, p.Seconds)
+				}
+			}
+		}
+		if md := e.Markdown(); !strings.Contains(md, e.ID) {
+			t.Errorf("%s: markdown missing id", e.ID)
+		}
+		if txt := e.Text(); !strings.Contains(txt, e.Title) {
+			t.Errorf("%s: text missing title", e.ID)
+		}
+	}
+}
+
+// TestPaperShapes asserts the qualitative results the paper reports, at a
+// small scale.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	t.Run("fig4-caching-beats-none-at-high-memory", func(t *testing.T) {
+		e, err := Fig4MemorySweep(0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caching, none := e.Series[0], e.Series[1]
+		last := len(caching.Points) - 1
+		if caching.Points[last].Seconds >= none.Points[last].Seconds {
+			t.Errorf("at max memory caching=%.3fs >= no-caching=%.3fs",
+				caching.Points[last].Seconds, none.Points[last].Seconds)
+		}
+		// Both curves should be non-increasing overall (first vs last).
+		for _, s := range e.Series {
+			if s.Points[last].Seconds > s.Points[0].Seconds {
+				t.Errorf("%s: time rose with memory: %.3f -> %.3f", s.Name, s.Points[0].Seconds, s.Points[last].Seconds)
+			}
+		}
+	})
+	t.Run("fig5a-less-memory-more-time", func(t *testing.T) {
+		e, err := Fig5aLimitedCCMemory(0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := e.Series[0].Points
+		if pts[0].Seconds <= pts[len(pts)-1].Seconds {
+			t.Errorf("tight memory (%.3fs) not slower than ample memory (%.3fs)",
+				pts[0].Seconds, pts[len(pts)-1].Seconds)
+		}
+	})
+	t.Run("fig7-sql-counting-loses", func(t *testing.T) {
+		e, err := Fig7SQLCounting(0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mwS, sqlS := e.Series[0], e.Series[1]
+		for i := range mwS.Points {
+			if sqlS.Points[i].Seconds < 2*mwS.Points[i].Seconds {
+				t.Errorf("rows=%.0f: sql=%.3fs not >= 2x middleware=%.3fs",
+					mwS.Points[i].X, sqlS.Points[i].Seconds, mwS.Points[i].Seconds)
+			}
+		}
+		// Divergence: the ratio grows with data size.
+		r0 := sqlS.Points[0].Seconds / mwS.Points[0].Seconds
+		rN := sqlS.Points[len(sqlS.Points)-1].Seconds / mwS.Points[len(mwS.Points)-1].Seconds
+		if rN <= r0 {
+			t.Errorf("sql/mw ratio did not grow with data: %.2f -> %.2f", r0, rN)
+		}
+	})
+	t.Run("sec5.2.5-indexes-do-not-help", func(t *testing.T) {
+		e, err := IndexScans(0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := e.Series[0].Points
+		seq := pts[0].Seconds
+		for _, p := range pts[1:] {
+			if p.Seconds < seq*0.95 {
+				t.Errorf("%s (%.3fs) beat the sequential scan (%.3fs) by >5%%", p.Label, p.Seconds, seq)
+			}
+		}
+	})
+}
+
+// TestSensitivityOrderingsHold verifies the headline orderings survive every
+// cost-model perturbation.
+func TestSensitivityOrderingsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	e, err := Sensitivity(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caching, noC := e.Series[0], e.Series[1]
+	for i := range caching.Points {
+		if caching.Points[i].Seconds >= noC.Points[i].Seconds {
+			t.Errorf("variant %s: caching (%.3f) not faster than no caching (%.3f)",
+				caching.Points[i].Label, caching.Points[i].Seconds, noC.Points[i].Seconds)
+		}
+	}
+}
+
+// TestExperimentsDeterministic: the whole harness is seeded; running an
+// experiment twice yields byte-identical output.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	for _, id := range []string{"fig5a", "fig6", "sec5.2.5"} {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("unknown id %s", id)
+		}
+		a, err := r.Run(0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Run(0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Markdown() != b.Markdown() {
+			t.Errorf("%s: two runs differ:\n%s\nvs\n%s", id, a.Markdown(), b.Markdown())
+		}
+	}
+}
+
+// TestGetAndIDs covers the registry helpers.
+func TestGetAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Runners()) {
+		t.Fatal("IDs length mismatch")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+	for _, id := range ids {
+		if _, ok := Get(id); !ok {
+			t.Errorf("id %s not resolvable", id)
+		}
+	}
+}
+
+// TestAllShapeChecksPass runs every experiment at a reduced scale and
+// validates its machine-checkable shape.
+func TestAllShapeChecksPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	for _, r := range Runners() {
+		if !HasCheck(r.ID) {
+			t.Errorf("%s: no shape check registered", r.ID)
+			continue
+		}
+		e, err := r.Run(1.0) // the calibrated scale of EXPERIMENTS.md
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if err := Check(e); err != nil {
+			t.Errorf("%s: shape check failed: %v", r.ID, err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package mw
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// BenchmarkFullTreeBuildStaged measures a complete middleware-driven tree
+// build with memory staging over ~4k rows (wall time; virtual time is
+// covered by the root figure benches).
+func BenchmarkFullTreeBuildStaged(b *testing.B) {
+	ds := randDataset(4000, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := engine.NewServer(engine.New(sim.NewDefaultMeter(), 0), "cases", ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := New(srv, Config{Staging: StageMemoryOnly, Memory: 8 * ds.Bytes()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := driveToCompletion(m, ds); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		m.Close()
+		b.StartTimer()
+	}
+}
+
+// driveToCompletion services the root request and one full level, the
+// middleware-side hot path, without the tree client's split logic.
+func driveToCompletion(m *Middleware, ds interface{ N() int }) error {
+	if err := m.Enqueue(&Request{
+		NodeID: 0, ParentID: -1,
+		Attrs: []int{0, 1, 2, 3}, Rows: int64(ds.N()), EstCC: 4096,
+	}); err != nil {
+		return err
+	}
+	for m.Pending() > 0 {
+		results, err := m.Step()
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			m.CloseNode(r.Req.NodeID)
+		}
+	}
+	return nil
+}
+
+// BenchmarkStepSingleScan measures one scheduler+scan round servicing the
+// root from the server.
+func BenchmarkStepSingleScan(b *testing.B) {
+	ds := randDataset(4000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := engine.NewServer(engine.New(sim.NewDefaultMeter(), 0), "cases", ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := New(srv, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Enqueue(&Request{NodeID: 0, ParentID: -1, Attrs: []int{0, 1, 2, 3}, Rows: int64(ds.N()), EstCC: 4096}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		m.Close()
+		b.StartTimer()
+	}
+}

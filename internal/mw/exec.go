@@ -1,0 +1,340 @@
+package mw
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// Step schedules and executes one batch (§4.1.1): it picks the next set of
+// active nodes per the priority rules, builds all their counts tables in a
+// single scan of the chosen source, performs the planned staging, and
+// returns the fulfilled results. It returns (nil, nil) when no requests are
+// pending.
+func (m *Middleware) Step() ([]*Result, error) {
+	b := m.schedule()
+	if b == nil {
+		return nil, nil
+	}
+	m.meter.Charge(sim.CtrBatches, 0, 1)
+
+	plan := m.planStaging(b)
+	for _, t := range plan.fileTees {
+		w, err := m.files.create()
+		if err != nil {
+			return nil, err
+		}
+		t.writer = w
+	}
+
+	// Working state per admitted request.
+	classIdx := m.schema.ClassIndex()
+	type work struct {
+		req   *Request
+		attrs []int // counted attribute set: remaining attrs + class column
+		cc    *cc.Table
+	}
+	live := make([]*work, 0, len(b.reqs))
+	for _, r := range b.reqs {
+		attrs := make([]int, 0, len(r.Attrs)+1)
+		attrs = append(attrs, r.Attrs...)
+		attrs = append(attrs, classIdx)
+		live = append(live, &work{req: r, attrs: attrs, cc: cc.New()})
+	}
+	fallback := append([]*Request(nil), b.fallback...)
+
+	// Memory ceiling for this scan: CC tables under construction plus rows
+	// captured by memory tees must stay within what was free at scan start.
+	budget := m.memBudgetLeft()
+	var ccBytes, teeBytes int64
+	rowMemBytes := int64(m.schema.RowBytes()) + memRowOverhead
+	ccCost := m.meter.Costs().CCUpdate
+
+	// evictLargest handles a runtime estimation error (§4.1.1): the counts
+	// tables under construction no longer fit. The request with the largest
+	// partial table is dropped from the scan; if other requests remain it is
+	// simply re-queued for a later, smaller batch, and only a request that
+	// overflows on its own (nothing left to shed) falls back to the
+	// server-side SQL implementation.
+	var requeued []*Request
+	evictLargest := func() {
+		if len(live) == 0 {
+			return
+		}
+		li := 0
+		for i, w := range live {
+			if w.cc.Bytes() > live[li].cc.Bytes() {
+				li = i
+			}
+		}
+		w := live[li]
+		ccBytes -= w.cc.Bytes()
+		live = append(live[:li], live[li+1:]...)
+		if len(live) > 0 {
+			requeued = append(requeued, w.req)
+		} else {
+			fallback = append(fallback, w.req)
+		}
+	}
+
+	// dropLargestMemTee abandons the memory-staging tee holding the most
+	// rows, returning its memory to the scan budget. Staging is an
+	// optimization; when the runtime budget is exceeded it is sacrificed
+	// before any request is pushed to the SQL fallback.
+	dropLargestMemTee := func() bool {
+		if len(plan.memTees) == 0 {
+			return false
+		}
+		li := 0
+		for i, t := range plan.memTees {
+			if len(t.mem) > len(plan.memTees[li].mem) {
+				li = i
+			}
+		}
+		teeBytes -= int64(len(plan.memTees[li].mem)) * rowMemBytes
+		plan.memTees = append(plan.memTees[:li], plan.memTees[li+1:]...)
+		return true
+	}
+
+	process := func(row data.Row) {
+		for i := 0; i < len(live); i++ {
+			w := live[i]
+			if !w.req.Path.Eval(row) {
+				continue
+			}
+			before := w.cc.Bytes()
+			w.cc.AddRow(row, w.attrs)
+			ccBytes += w.cc.Bytes() - before
+			m.meter.Charge(sim.CtrCCUpdates, ccCost, 1)
+		}
+		for ccBytes+teeBytes > budget {
+			if dropLargestMemTee() {
+				continue
+			}
+			// Reclaim staged memory (but never the data set being scanned).
+			if m.evictMemoryStageExcept(b.stage) {
+				budget = m.memBudgetLeft()
+				continue
+			}
+			if len(live) == 0 {
+				break
+			}
+			evictLargest()
+		}
+		for _, t := range plan.fileTees {
+			if t.filter.Eval(row) {
+				t.writer.Write(row)
+			}
+		}
+		for _, t := range plan.memTees {
+			if t.filter.Eval(row) {
+				t.mem = append(t.mem, row.Clone())
+				teeBytes += rowMemBytes
+			}
+		}
+	}
+
+	if len(live) > 0 {
+		if err := m.runScan(b, process); err != nil {
+			for _, t := range plan.fileTees {
+				t.writer.Abort()
+			}
+			return nil, err
+		}
+	}
+
+	// Finalize staging.
+	for _, t := range plan.fileTees {
+		sf, err := t.writer.Finish()
+		if err != nil {
+			return nil, err
+		}
+		sd := &stageData{
+			seq:       m.nextStageSeq(),
+			nodeID:    t.keyNodes[0],
+			keyNodes:  t.keyNodes,
+			rows:      sf.rows,
+			openNodes: map[int]bool{},
+			file:      sf,
+		}
+		for _, id := range t.keyNodes {
+			sd.openNodes[id] = true
+		}
+		m.registerStage(sd)
+	}
+	for _, t := range plan.memTees {
+		bytes := int64(len(t.mem)) * rowMemBytes
+		sd := &stageData{
+			seq:       m.nextStageSeq(),
+			nodeID:    t.keyNodes[0],
+			keyNodes:  t.keyNodes,
+			rows:      int64(len(t.mem)),
+			openNodes: map[int]bool{},
+			mem:       t.mem,
+			memBytes:  bytes,
+		}
+		for _, id := range t.keyNodes {
+			sd.openNodes[id] = true
+		}
+		m.stagedMem += bytes
+		m.registerStage(sd)
+	}
+
+	// Post results.
+	var results []*Result
+	srcName := map[sourceKind]string{srcMemory: "memory", srcFile: "file", srcServer: "server"}[b.kind]
+	for _, w := range live {
+		res := &Result{Req: w.req, CC: w.cc, Source: srcName}
+		m.open[w.req.NodeID] = res
+		m.ccHold += w.cc.Bytes()
+		results = append(results, res)
+	}
+	for _, r := range fallback {
+		t, err := m.sqlCounts(r)
+		if err != nil {
+			return nil, err
+		}
+		m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
+		res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
+		m.open[r.NodeID] = res
+		m.ccHold += t.Bytes()
+		results = append(results, res)
+	}
+	// Requests shed mid-scan return to the queue for a later batch.
+	m.queue = append(m.queue, requeued...)
+
+	if m.cfg.Trace != nil {
+		ev := Event{
+			Batch:    int(m.meter.Count(sim.CtrBatches)),
+			Source:   srcName,
+			NewFiles: len(plan.fileTees),
+		}
+		for _, w := range live {
+			ev.Nodes = append(ev.Nodes, w.req.NodeID)
+		}
+		for _, r := range fallback {
+			ev.Fallback = append(ev.Fallback, r.NodeID)
+		}
+		for _, r := range requeued {
+			ev.Requeued = append(ev.Requeued, r.NodeID)
+		}
+		for _, t := range plan.memTees {
+			ev.StagedMem += int64(len(t.mem))
+		}
+		m.cfg.Trace(ev)
+	}
+	return results, nil
+}
+
+// runScan drives every row of the batch's source through process.
+func (m *Middleware) runScan(b *batch, process func(data.Row)) error {
+	switch b.kind {
+	case srcMemory:
+		cost := m.meter.Costs().MemRowRead
+		for _, row := range b.stage.mem {
+			m.meter.Charge(sim.CtrMemRowsRead, cost, 1)
+			process(row)
+		}
+		return nil
+	case srcFile:
+		return m.files.scan(b.stage.file, func(row data.Row) error {
+			process(row)
+			return nil
+		})
+	case srcServer:
+		filter := batchFilter(b.reqs)
+		if m.cfg.NoFilterPushdown {
+			// Ablation: no WHERE clause reaches the server; every row is
+			// transmitted and filtered here. (process evaluates each
+			// node's own predicate, so results are unchanged.)
+			filter = predicate.MatchAll()
+		}
+		var cur engine.Cursor
+		if aux := m.maybeBuildAux(b); aux != nil {
+			switch {
+			case aux.keyset != nil:
+				cur = aux.keyset.OpenScan(&filter)
+			case aux.tidTab != nil:
+				cur = aux.tidTab.OpenJoin(filter)
+			case aux.subSrv != nil:
+				cur = aux.subSrv.OpenScan(filter)
+			}
+		}
+		if cur == nil {
+			cur = m.srv.OpenScan(filter)
+		}
+		defer cur.Close()
+		for {
+			row, ok := cur.Next()
+			if !ok {
+				return nil
+			}
+			process(row)
+		}
+	}
+	return fmt.Errorf("mw: unknown source kind %d", b.kind)
+}
+
+// sqlCounts services one request with the straightforward SQL implementation
+// of §2.3: a UNION of GROUP BY queries executed at the server, one arm per
+// remaining attribute plus one arm for the class histogram. This is both the
+// runtime fallback when a counts table cannot fit in middleware memory
+// (§4.1.1) and, via the baseline package, the strawman of Figure 7.
+func (m *Middleware) sqlCounts(r *Request) (*cc.Table, error) {
+	rs, err := m.srv.Engine().Exec(CountsSQL(m.schema, m.srv.TableName(), r.Path, r.Attrs))
+	if err != nil {
+		return nil, err
+	}
+	return CountsFromResult(m.schema, rs)
+}
+
+// CountsSQL renders the §2.3 counts query for one node: one GROUP BY arm per
+// attribute in attrs plus an arm counting the class column itself, each arm
+// selecting the attribute's column index as attr so the result parses back
+// into a cc.Table without name lookups.
+func CountsSQL(s *data.Schema, table string, path predicate.Conj, attrs []int) string {
+	where := path.SQL(s)
+	className := s.Class.Name
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteString(" UNION ALL ")
+		}
+		name := s.Attrs[a].Name
+		fmt.Fprintf(&b, "SELECT %d AS attr, %s AS val, %s AS cls, COUNT(*) AS n FROM %s WHERE %s GROUP BY %s, %s",
+			a, name, className, table, where, className, name)
+	}
+	if len(attrs) > 0 {
+		b.WriteString(" UNION ALL ")
+	}
+	fmt.Fprintf(&b, "SELECT %d AS attr, %s AS val, %s AS cls, COUNT(*) AS n FROM %s WHERE %s GROUP BY %s",
+		s.ClassIndex(), className, className, table, where, className)
+	return b.String()
+}
+
+// CountsFromResult parses the result of a CountsSQL query into a cc.Table.
+func CountsFromResult(s *data.Schema, rs *engine.ResultSet) (*cc.Table, error) {
+	if len(rs.Cols) != 4 {
+		return nil, fmt.Errorf("mw: counts query returned %d columns, want 4", len(rs.Cols))
+	}
+	t := cc.New()
+	classIdx := s.ClassIndex()
+	var rows int64
+	for _, r := range rs.Rows {
+		if r[0].Str || r[1].Str || r[2].Str || r[3].Str {
+			return nil, fmt.Errorf("mw: counts query returned non-integer values")
+		}
+		attr := int(r[0].I)
+		t.Add(attr, data.Value(r[1].I), data.Value(r[2].I), r[3].I)
+		if attr == classIdx {
+			rows += r[3].I
+		}
+	}
+	t.SetRows(rows)
+	return t, nil
+}

@@ -1,0 +1,188 @@
+package mw
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// stageData is data staged for the subtrees of one or more nodes
+// (keyNodes): rows in a middleware file, in middleware memory, or an
+// auxiliary server-side structure (§4.3.3). It stays alive while any node in
+// the covered subtrees may still need it (openNodes) and is freed afterwards.
+type stageData struct {
+	seq       int   // creation order, for deterministic scheduling ties
+	nodeID    int   // primary label (first covered node)
+	keyNodes  []int // nodes whose subtrees this stage covers
+	rows      int64 // rows captured in the stage
+	openNodes map[int]bool
+	freed     bool
+
+	mem      []data.Row
+	memBytes int64
+
+	file *stageFile
+
+	// Auxiliary server structures (§4.3.3), used by the non-default
+	// ServerAccess modes.
+	keyset *engine.Keyset
+	tidTab *engine.TIDTable
+	subSrv *engine.Server
+}
+
+// stageFile is one middleware staging file of binary-encoded rows.
+type stageFile struct {
+	path  string
+	rows  int64
+	bytes int64
+}
+
+// fileStore manages the middleware's staging files: real files in a private
+// directory, with all reads and writes metered.
+type fileStore struct {
+	dir        string
+	ownsDir    bool
+	meter      *sim.Meter
+	schema     *data.Schema
+	budget     int64 // 0 = unlimited
+	bytesInUse int64
+	seq        int
+}
+
+func newFileStore(dir string, meter *sim.Meter, schema *data.Schema, budget int64) (*fileStore, error) {
+	owns := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mwstage-")
+		if err != nil {
+			return nil, fmt.Errorf("mw: create staging dir: %w", err)
+		}
+		dir = d
+		owns = true
+	}
+	return &fileStore{dir: dir, ownsDir: owns, meter: meter, schema: schema, budget: budget}, nil
+}
+
+// Close removes the staging directory if the store created it.
+func (fs *fileStore) Close() error {
+	if fs.ownsDir {
+		return os.RemoveAll(fs.dir)
+	}
+	return nil
+}
+
+// hasRoomFor reports whether a file of approximately rows fits the budget.
+func (fs *fileStore) hasRoomFor(rows int64) bool {
+	if fs.budget == 0 {
+		return true
+	}
+	need := rows * int64(fs.schema.RowBytes())
+	return fs.bytesInUse+need <= fs.budget
+}
+
+// fileWriter streams rows into a new staging file.
+type fileWriter struct {
+	fs   *fileStore
+	f    *os.File
+	w    *bufio.Writer
+	sf   *stageFile
+	buf  []byte
+	cost int64
+	err  error
+}
+
+// create opens a new staging file, charging the file-open cost.
+func (fs *fileStore) create() (*fileWriter, error) {
+	fs.seq++
+	path := filepath.Join(fs.dir, fmt.Sprintf("stage%06d.rows", fs.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("mw: create staging file: %w", err)
+	}
+	fs.meter.Charge(sim.CtrFilesCreated, fs.meter.Costs().FileOpen, 1)
+	return &fileWriter{
+		fs:   fs,
+		f:    f,
+		w:    bufio.NewWriterSize(f, 1<<16),
+		sf:   &stageFile{path: path},
+		cost: fs.meter.Costs().FileRowWrite,
+	}, nil
+}
+
+// Write appends one row, charging the per-row file write cost.
+func (fw *fileWriter) Write(r data.Row) {
+	if fw.err != nil {
+		return
+	}
+	fw.buf = r.Encode(fw.buf[:0])
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		fw.err = err
+		return
+	}
+	fw.sf.rows++
+	fw.sf.bytes += int64(len(fw.buf))
+	fw.fs.meter.Charge(sim.CtrFileRowsWritten, fw.cost, 1)
+}
+
+// Finish flushes and registers the file, returning it.
+func (fw *fileWriter) Finish() (*stageFile, error) {
+	if fw.err == nil {
+		fw.err = fw.w.Flush()
+	}
+	if cerr := fw.f.Close(); fw.err == nil {
+		fw.err = cerr
+	}
+	if fw.err != nil {
+		os.Remove(fw.sf.path)
+		return nil, fmt.Errorf("mw: write staging file: %w", fw.err)
+	}
+	fw.fs.bytesInUse += fw.sf.bytes
+	return fw.sf, nil
+}
+
+// Abort discards a partially written file.
+func (fw *fileWriter) Abort() {
+	fw.w.Flush()
+	fw.f.Close()
+	os.Remove(fw.sf.path)
+}
+
+// scan reads every row of the file in order, charging the per-row file read
+// cost, and calls fn. fn must not retain the row.
+func (fs *fileStore) scan(sf *stageFile, fn func(data.Row) error) error {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return fmt.Errorf("mw: open staging file: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	rb := fs.schema.RowBytes()
+	ncols := fs.schema.NumCols()
+	buf := make([]byte, rb)
+	var row data.Row
+	cost := fs.meter.Costs().FileRowRead
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("mw: read staging file: %w", err)
+		}
+		row = data.DecodeRow(buf, ncols, row)
+		fs.meter.Charge(sim.CtrFileRowsRead, cost, 1)
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// remove deletes a staging file and returns its space to the budget.
+func (fs *fileStore) remove(sf *stageFile) {
+	os.Remove(sf.path)
+	fs.bytesInUse -= sf.bytes
+}

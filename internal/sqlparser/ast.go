@@ -1,0 +1,285 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// String renders the statement back to SQL; parse(s.String()) must
+	// yield an equivalent statement (the parser round-trip property).
+	String() string
+}
+
+// Expr is a scalar or boolean expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColumnRef references a column by name.
+type ColumnRef struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// BinaryExpr is a binary operation. Op is one of
+// "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "+", "-".
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ E Expr }
+
+// CountStar is the COUNT(*) aggregate.
+type CountStar struct{}
+
+// AggExpr is an aggregate over a column: SUM/MIN/MAX(col).
+type AggExpr struct {
+	Func string // "SUM", "MIN", "MAX", "COUNT"
+	Arg  Expr
+}
+
+func (*ColumnRef) expr()  {}
+func (*IntLit) expr()     {}
+func (*StringLit) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*NotExpr) expr()    {}
+func (*CountStar) expr()  {}
+func (*AggExpr) expr()    {}
+
+func (e *ColumnRef) String() string { return e.Name }
+func (e *IntLit) String() string    { return fmt.Sprintf("%d", e.Val) }
+func (e *StringLit) String() string {
+	return "'" + strings.ReplaceAll(e.Val, "'", "''") + "'"
+}
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+func (e *NotExpr) String() string   { return fmt.Sprintf("(NOT %s)", e.E) }
+func (e *CountStar) String() string { return "COUNT(*)" }
+func (e *AggExpr) String() string   { return fmt.Sprintf("%s(%s)", e.Func, e.Arg) }
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+func (si SelectItem) String() string {
+	if si.Star {
+		return "*"
+	}
+	if si.Alias != "" {
+		return fmt.Sprintf("%s AS %s", si.Expr, si.Alias)
+	}
+	return si.Expr.String()
+}
+
+// JoinClause is an [INNER] JOIN of a second table with an ON condition.
+type JoinClause struct {
+	Table string
+	Alias string // "" = none
+	On    Expr
+}
+
+// SelectCore is one SELECT ... FROM ... [JOIN ... ON ...] [WHERE ...]
+// [GROUP BY ...] [HAVING ...] block.
+type SelectCore struct {
+	Distinct   bool
+	Items      []SelectItem
+	Table      string
+	TableAlias string // "" = none
+	Join       *JoinClause
+	Where      Expr // nil = none
+	GroupBy    []Expr
+	Having     Expr // nil = none
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a full query: one or more cores combined with UNION [ALL], plus
+// optional ORDER BY and LIMIT applied to the combined result.
+type Select struct {
+	Cores    []SelectCore
+	UnionAll []bool // UnionAll[i] is the combinator between Cores[i] and Cores[i+1]
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = no limit
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var b strings.Builder
+	for i, c := range s.Cores {
+		if i > 0 {
+			if s.UnionAll[i-1] {
+				b.WriteString(" UNION ALL ")
+			} else {
+				b.WriteString(" UNION ")
+			}
+		}
+		b.WriteString("SELECT ")
+		if c.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for j, it := range c.Items {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.String())
+		}
+		b.WriteString(" FROM ")
+		b.WriteString(c.Table)
+		if c.TableAlias != "" {
+			b.WriteString(" ")
+			b.WriteString(c.TableAlias)
+		}
+		if c.Join != nil {
+			b.WriteString(" JOIN ")
+			b.WriteString(c.Join.Table)
+			if c.Join.Alias != "" {
+				b.WriteString(" ")
+				b.WriteString(c.Join.Alias)
+			}
+			b.WriteString(" ON ")
+			b.WriteString(c.Join.On.String())
+		}
+		if c.Where != nil {
+			b.WriteString(" WHERE ")
+			b.WriteString(c.Where.String())
+		}
+		if len(c.GroupBy) > 0 {
+			b.WriteString(" GROUP BY ")
+			for j, g := range c.GroupBy {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(g.String())
+			}
+		}
+		if c.Having != nil {
+			b.WriteString(" HAVING ")
+			b.WriteString(c.Having.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for j, o := range s.OrderBy {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// ColumnDef is one column in CREATE TABLE. The engine supports INT (4-byte
+// categorical codes); VARCHAR is accepted for schema compatibility but
+// stored as codes by the callers in this repository.
+type ColumnDef struct {
+	Name string
+	Type string // "INT" or "VARCHAR"
+}
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+func (s *CreateTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", s.Name)
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// CreateIndex is CREATE INDEX name ON table (col).
+type CreateIndex struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+func (*CreateIndex) stmt() {}
+
+func (s *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", s.Name, s.Table, s.Col)
+}
+
+// Insert is INSERT INTO table VALUES (...), (...), ....
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (*Insert) stmt() {}
+
+func (s *Insert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", s.Table)
+	for i, r := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range r {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Delete is DELETE FROM table [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+func (s *Delete) String() string {
+	if s.Where == nil {
+		return fmt.Sprintf("DELETE FROM %s", s.Table)
+	}
+	return fmt.Sprintf("DELETE FROM %s WHERE %s", s.Table, s.Where)
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+func (s *DropTable) String() string { return "DROP TABLE " + s.Name }

@@ -1,0 +1,657 @@
+package sqlparser
+
+import (
+	"strconv"
+)
+
+// Parse parses a single SQL statement.
+func Parse(sql string) (Statement, error) {
+	p := &parser{lex: lexer{src: sql}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.tok.text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) atSymbol(s string) bool {
+	return p.tok.kind == tokSymbol && p.tok.text == s
+}
+
+// accept consumes the current token if it matches the keyword.
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if p.atKeyword(kw) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) acceptSymbol(s string) (bool, error) {
+	if p.atSymbol(s) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.atSymbol(s) {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.atKeyword("SELECT"):
+		return p.selectStmt()
+	case p.atKeyword("CREATE"):
+		return p.createStmt()
+	case p.atKeyword("INSERT"):
+		return p.insertStmt()
+	case p.atKeyword("DELETE"):
+		return p.deleteStmt()
+	case p.atKeyword("DROP"):
+		return p.dropStmt()
+	}
+	return nil, p.errf("expected statement, found %q", p.tok.text)
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	s := &Select{Limit: -1}
+	core, err := p.selectCore()
+	if err != nil {
+		return nil, err
+	}
+	s.Cores = append(s.Cores, core)
+	for {
+		ok, err := p.acceptKeyword("UNION")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		all, err := p.acceptKeyword("ALL")
+		if err != nil {
+			return nil, err
+		}
+		core, err := p.selectCore()
+		if err != nil {
+			return nil, err
+		}
+		s.Cores = append(s.Cores, core)
+		s.UnionAll = append(s.UnionAll, all)
+	}
+	if ok, err := p.acceptKeyword("ORDER"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if ok, err := p.acceptKeyword("DESC"); err != nil {
+				return nil, err
+			} else if ok {
+				item.Desc = true
+			} else if ok, err := p.acceptKeyword("ASC"); err != nil {
+				return nil, err
+			} else {
+				_ = ok
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("LIMIT"); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.kind != tokInt {
+			return nil, p.errf("expected LIMIT count, found %q", p.tok.text)
+		}
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", p.tok.text)
+		}
+		s.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) selectCore() (SelectCore, error) {
+	var c SelectCore
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return c, err
+	}
+	if ok, err := p.acceptKeyword("DISTINCT"); err != nil {
+		return c, err
+	} else if ok {
+		c.Distinct = true
+	}
+	for {
+		if ok, err := p.acceptSymbol("*"); err != nil {
+			return c, err
+		} else if ok {
+			c.Items = append(c.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return c, err
+			}
+			item := SelectItem{Expr: e}
+			if ok, err := p.acceptKeyword("AS"); err != nil {
+				return c, err
+			} else if ok {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return c, err
+				}
+				item.Alias = alias
+			} else if p.tok.kind == tokIdent {
+				// Bare alias without AS.
+				item.Alias = p.tok.text
+				if err := p.advance(); err != nil {
+					return c, err
+				}
+			}
+			c.Items = append(c.Items, item)
+		}
+		if ok, err := p.acceptSymbol(","); err != nil {
+			return c, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return c, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return c, err
+	}
+	c.Table = tbl
+	// Optional bare alias.
+	if p.tok.kind == tokIdent {
+		c.TableAlias = p.tok.text
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+	}
+	// Optional [INNER] JOIN table [alias] ON expr.
+	if ok, err := p.acceptKeyword("INNER"); err != nil {
+		return c, err
+	} else if ok {
+		if !p.atKeyword("JOIN") {
+			return c, p.errf("expected JOIN after INNER")
+		}
+	}
+	if ok, err := p.acceptKeyword("JOIN"); err != nil {
+		return c, err
+	} else if ok {
+		j := &JoinClause{}
+		j.Table, err = p.expectIdent()
+		if err != nil {
+			return c, err
+		}
+		if p.tok.kind == tokIdent {
+			j.Alias = p.tok.text
+			if err := p.advance(); err != nil {
+				return c, err
+			}
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return c, err
+		}
+		j.On, err = p.expr()
+		if err != nil {
+			return c, err
+		}
+		c.Join = j
+	}
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return c, err
+	} else if ok {
+		w, err := p.expr()
+		if err != nil {
+			return c, err
+		}
+		c.Where = w
+	}
+	if ok, err := p.acceptKeyword("GROUP"); err != nil {
+		return c, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return c, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return c, err
+			}
+			c.GroupBy = append(c.GroupBy, e)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return c, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("HAVING"); err != nil {
+		return c, err
+	} else if ok {
+		h, err := p.expr()
+		if err != nil {
+			return c, err
+		}
+		c.Having = h
+	}
+	return c, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr   := and (OR and)*
+//	and    := not (AND not)*
+//	not    := [NOT] cmp
+//	cmp    := add [(=|<>|<|<=|>|>=) add]
+//	add    := primary ((+|-) primary)*
+//	primary:= INT | STRING | ident | COUNT(*) | SUM|MIN|MAX|COUNT (expr) | (expr)
+func (p *parser) expr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokSymbol {
+		switch p.tok.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("+") || p.atSymbol("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokInt:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", p.tok.text)
+		}
+		return &IntLit{Val: v}, p.advance()
+
+	case p.tok.kind == tokString:
+		v := p.tok.text
+		return &StringLit{Val: v}, p.advance()
+
+	case p.tok.kind == tokSymbol && p.tok.text == "-":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt {
+			return nil, p.errf("expected integer after unary minus")
+		}
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", p.tok.text)
+		}
+		return &IntLit{Val: -v}, p.advance()
+
+	case p.atKeyword("COUNT"), p.atKeyword("SUM"), p.atKeyword("MIN"), p.atKeyword("MAX"), p.atKeyword("AVG"):
+		fn := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if fn == "COUNT" {
+			if ok, err := p.acceptSymbol("*"); err != nil {
+				return nil, err
+			} else if ok {
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &CountStar{}, nil
+			}
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &AggExpr{Func: fn, Arg: arg}, nil
+
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Qualified reference: alias.column.
+		if p.atSymbol(".") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Name: name + "." + col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+
+	case p.atSymbol("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %q", p.tok.text)
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if ok, err := p.acceptKeyword("TABLE"); err != nil {
+		return nil, err
+	} else if ok {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		st := &CreateTable{Name: name}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var typ string
+			switch {
+			case p.atKeyword("INT"):
+				typ = "INT"
+			case p.atKeyword("VARCHAR"):
+				typ = "VARCHAR"
+			default:
+				return nil, p.errf("expected column type INT or VARCHAR, found %q", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// Optional (n) length on VARCHAR.
+			if ok, err := p.acceptSymbol("("); err != nil {
+				return nil, err
+			} else if ok {
+				if p.tok.kind != tokInt {
+					return nil, p.errf("expected length, found %q", p.tok.text)
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			st.Cols = append(st.Cols, ColumnDef{Name: col, Type: typ})
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: tbl, Col: col}, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	st := &Insert{Table: name}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if ok, err := p.acceptSymbol(","); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if ok, err := p.acceptSymbol(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &Delete{Table: name}
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}

@@ -1,0 +1,255 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	st := mustParse(t, "SELECT a, b FROM t WHERE a = 1")
+	s, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if len(s.Cores) != 1 || s.Cores[0].Table != "t" || len(s.Cores[0].Items) != 2 {
+		t.Fatalf("core = %+v", s.Cores[0])
+	}
+	be, ok := s.Cores[0].Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where = %v", s.Cores[0].Where)
+	}
+}
+
+func TestParseCountsQueryShape(t *testing.T) {
+	// The §2.3 counts query: per-attribute GROUP BY arms joined by UNION.
+	sql := `SELECT 'A1' AS attr_name, A1 AS value, class, COUNT(*)
+	        FROM Data_table WHERE A1 = 2 AND A2 <> 0 GROUP BY class, A1
+	        UNION
+	        SELECT 'A2', A2, class, COUNT(*)
+	        FROM Data_table WHERE A1 = 2 AND A2 <> 0 GROUP BY class, A2`
+	st := mustParse(t, sql)
+	s := st.(*Select)
+	if len(s.Cores) != 2 {
+		t.Fatalf("%d cores", len(s.Cores))
+	}
+	if s.UnionAll[0] {
+		t.Error("UNION parsed as UNION ALL")
+	}
+	if len(s.Cores[0].GroupBy) != 2 {
+		t.Errorf("group by = %v", s.Cores[0].GroupBy)
+	}
+	if s.Cores[0].Items[0].Alias != "attr_name" {
+		t.Errorf("alias = %q", s.Cores[0].Items[0].Alias)
+	}
+	if _, ok := s.Cores[0].Items[3].Expr.(*CountStar); !ok {
+		t.Errorf("item 3 = %v", s.Cores[0].Items[3].Expr)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3")
+	s := st.(*Select)
+	or, ok := s.Cores[0].Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %v", s.Cores[0].Where)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right of OR = %v", or.R)
+	}
+	if _, ok := and.R.(*NotExpr); !ok {
+		t.Fatalf("right of AND = %v", and.R)
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		st := mustParse(t, "SELECT * FROM t WHERE a "+op+" 5")
+		be := st.(*Select).Cores[0].Where.(*BinaryExpr)
+		if be.Op != op {
+			t.Errorf("op %q parsed as %q", op, be.Op)
+		}
+	}
+	// != is normalized to <>.
+	st := mustParse(t, "SELECT * FROM t WHERE a != 5")
+	if be := st.(*Select).Cores[0].Where.(*BinaryExpr); be.Op != "<>" {
+		t.Errorf("!= parsed as %q", be.Op)
+	}
+}
+
+func TestParseArithmeticAndUnaryMinus(t *testing.T) {
+	st := mustParse(t, "SELECT a + 1 - 2 FROM t WHERE a = -3")
+	s := st.(*Select)
+	if got := s.Cores[0].Items[0].Expr.String(); got != "((a + 1) - 2)" {
+		t.Errorf("expr = %q", got)
+	}
+	be := s.Cores[0].Where.(*BinaryExpr)
+	il, ok := be.R.(*IntLit)
+	if !ok || il.Val != -3 {
+		t.Errorf("rhs = %v", be.R)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*), SUM(a), MIN(a), MAX(b) FROM t GROUP BY c")
+	items := st.(*Select).Cores[0].Items
+	if _, ok := items[0].Expr.(*CountStar); !ok {
+		t.Error("COUNT(*)")
+	}
+	for i, fn := range []string{"SUM", "MIN", "MAX"} {
+		agg, ok := items[i+1].Expr.(*AggExpr)
+		if !ok || agg.Func != fn {
+			t.Errorf("item %d: %v", i+1, items[i+1].Expr)
+		}
+	}
+}
+
+func TestParseOrderByAndDistinct(t *testing.T) {
+	st := mustParse(t, "SELECT DISTINCT a FROM t ORDER BY a DESC, b ASC, c")
+	s := st.(*Select)
+	if !s.Cores[0].Distinct {
+		t.Error("DISTINCT lost")
+	}
+	if len(s.OrderBy) != 3 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc || s.OrderBy[2].Desc {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+}
+
+func TestParseDDLAndDML(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE t (a INT, b VARCHAR(10), c INT)").(*CreateTable)
+	if ct.Name != "t" || len(ct.Cols) != 3 || ct.Cols[1].Type != "VARCHAR" {
+		t.Errorf("create table = %+v", ct)
+	}
+	ci := mustParse(t, "CREATE INDEX i ON t (a)").(*CreateIndex)
+	if ci.Name != "i" || ci.Table != "t" || ci.Col != "a" {
+		t.Errorf("create index = %+v", ci)
+	}
+	ins := mustParse(t, "INSERT INTO t VALUES (1, 2, 3), (4, 5, 6)").(*Insert)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[1]) != 3 {
+		t.Errorf("insert = %+v", ins)
+	}
+	del := mustParse(t, "DELETE FROM t WHERE a = 1").(*Delete)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	del2 := mustParse(t, "DELETE FROM t").(*Delete)
+	if del2.Where != nil {
+		t.Errorf("bare delete = %+v", del2)
+	}
+	dr := mustParse(t, "DROP TABLE t").(*DropTable)
+	if dr.Name != "t" {
+		t.Errorf("drop = %+v", dr)
+	}
+}
+
+func TestParseStringsAndComments(t *testing.T) {
+	st := mustParse(t, "SELECT 'it''s', 'x' FROM t -- trailing comment\n WHERE a = 1")
+	items := st.(*Select).Cores[0].Items
+	if sl := items[0].Expr.(*StringLit); sl.Val != "it's" {
+		t.Errorf("escaped string = %q", sl.Val)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st := mustParse(t, "select a from t where a = 1 group by a")
+	if len(st.(*Select).Cores[0].GroupBy) != 1 {
+		t.Error("lowercase keywords not recognized")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a t",
+		"FOO BAR",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t trailing junk (",
+		"SELECT 'unterminated FROM t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a FLOAT)",
+		"INSERT INTO t VALUES",
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT a FROM t ORDER",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) accepted invalid SQL", sql)
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Parse("SELECT a\nFROM t WHERE @")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 2") {
+		t.Errorf("error lacks position: %q", msg)
+	}
+}
+
+// TestRoundTrip: String() output re-parses to a statement that prints
+// identically (a fixed point after one round).
+func TestRoundTrip(t *testing.T) {
+	statements := []string{
+		"SELECT a, b AS x, COUNT(*) FROM t WHERE (a = 1 AND b <> 2) OR NOT c < 3 GROUP BY a, b ORDER BY a DESC",
+		"SELECT * FROM t",
+		"SELECT DISTINCT a FROM t",
+		"SELECT 1 AS attr, A1 AS val, class, COUNT(*) FROM cases WHERE 1 = 1 GROUP BY class, A1 UNION ALL SELECT 2, A2, class, COUNT(*) FROM cases WHERE 1 = 1 GROUP BY class, A2",
+		"SELECT 'a''b' FROM t",
+		"CREATE TABLE t (a INT, b INT)",
+		"CREATE INDEX i ON t (a)",
+		"INSERT INTO t VALUES (1, 2), (3, 4)",
+		"DELETE FROM t WHERE a = 1",
+		"DROP TABLE t",
+		"SELECT SUM(a), MIN(b), MAX(c) FROM t GROUP BY d",
+	}
+	for _, sql := range statements {
+		st1 := mustParse(t, sql)
+		printed := st1.String()
+		st2 := mustParse(t, printed)
+		if st2.String() != printed {
+			t.Errorf("round trip diverged:\n  in:  %s\n  1st: %s\n  2nd: %s", sql, printed, st2.String())
+		}
+	}
+}
+
+func TestParseHavingLimitAvg(t *testing.T) {
+	st := mustParse(t, "SELECT a, AVG(b) FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a LIMIT 5")
+	s := st.(*Select)
+	if s.Cores[0].Having == nil {
+		t.Error("HAVING lost")
+	}
+	if s.Limit != 5 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	if agg, ok := s.Cores[0].Items[1].Expr.(*AggExpr); !ok || agg.Func != "AVG" {
+		t.Errorf("AVG parsed as %v", s.Cores[0].Items[1].Expr)
+	}
+	// Round trip.
+	printed := st.String()
+	if st2 := mustParse(t, printed); st2.String() != printed {
+		t.Errorf("round trip diverged: %s vs %s", printed, st2.String())
+	}
+	// No-limit statements keep Limit = -1.
+	st3 := mustParse(t, "SELECT a FROM t")
+	if st3.(*Select).Limit != -1 {
+		t.Error("missing LIMIT should be -1")
+	}
+	if _, err := Parse("SELECT a FROM t LIMIT x"); err == nil {
+		t.Error("bad LIMIT accepted")
+	}
+}

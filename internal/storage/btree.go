@@ -1,0 +1,208 @@
+package storage
+
+// BTree is a B+-tree mapping int64 keys to TIDs, the ordered secondary
+// index of the engine (duplicate keys allowed; entries with equal keys keep
+// insertion order). Leaves hold the entries and are linked for range scans;
+// interior nodes hold separator keys.
+type BTree struct {
+	root   btNode
+	height int
+	size   int
+}
+
+// btOrder is the maximum number of entries per leaf / children per interior
+// node.
+const btOrder = 32
+
+type btNode interface {
+	// insert adds (key, tid); if the node splits it returns the new right
+	// sibling and the separator key (the smallest key in the right node).
+	insert(key int64, tid TID) (btNode, int64, bool)
+	// firstLeafGE locates the leaf and position of the first entry with
+	// key >= k.
+	firstLeafGE(k int64) (*btLeaf, int)
+}
+
+type btLeaf struct {
+	keys [btOrder]int64
+	tids [btOrder]TID
+	n    int
+	next *btLeaf
+}
+
+type btInner struct {
+	// keys[i] separates children[i] (< keys[i]) from children[i+1] (>= keys[i]).
+	keys     [btOrder]int64
+	children [btOrder + 1]btNode
+	n        int // number of keys; children count is n+1
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &btLeaf{}, height: 1} }
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *BTree) Height() int { return t.height }
+
+// Insert adds one entry. Duplicate keys are allowed; later inserts of an
+// equal key land after earlier ones.
+func (t *BTree) Insert(key int64, tid TID) {
+	right, sep, split := t.root.insert(key, tid)
+	if split {
+		inner := &btInner{n: 1}
+		inner.keys[0] = sep
+		inner.children[0] = t.root
+		inner.children[1] = right
+		t.root = inner
+		t.height++
+	}
+	t.size++
+}
+
+// AscendRange visits entries with lo <= key <= hi in key order (insertion
+// order within equal keys), stopping early if fn returns false.
+func (t *BTree) AscendRange(lo, hi int64, fn func(key int64, tid TID) bool) {
+	leaf, i := t.root.firstLeafGE(lo)
+	for leaf != nil {
+		for ; i < leaf.n; i++ {
+			if leaf.keys[i] > hi {
+				return
+			}
+			if !fn(leaf.keys[i], leaf.tids[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+}
+
+// Get returns the TIDs stored under key, in insertion order.
+func (t *BTree) Get(key int64) []TID {
+	var out []TID
+	t.AscendRange(key, key, func(_ int64, tid TID) bool {
+		out = append(out, tid)
+		return true
+	})
+	return out
+}
+
+// --- leaf ---
+
+func (l *btLeaf) insert(key int64, tid TID) (btNode, int64, bool) {
+	// Position after all entries with keys <= key (stable for duplicates).
+	pos := l.n
+	for pos > 0 && l.keys[pos-1] > key {
+		pos--
+	}
+	if l.n < btOrder {
+		copy(l.keys[pos+1:l.n+1], l.keys[pos:l.n])
+		copy(l.tids[pos+1:l.n+1], l.tids[pos:l.n])
+		l.keys[pos] = key
+		l.tids[pos] = tid
+		l.n++
+		return nil, 0, false
+	}
+	// Split: move the upper half to a new right leaf, then insert into the
+	// appropriate side.
+	mid := btOrder / 2
+	right := &btLeaf{n: btOrder - mid, next: l.next}
+	copy(right.keys[:], l.keys[mid:])
+	copy(right.tids[:], l.tids[mid:])
+	l.n = mid
+	l.next = right
+	if pos <= mid && !(pos == mid && key >= right.keys[0]) {
+		l.insert(key, tid)
+	} else {
+		right.insert(key, tid)
+	}
+	return right, right.keys[0], true
+}
+
+func (l *btLeaf) firstLeafGE(k int64) (*btLeaf, int) {
+	lo, hi := 0, l.n
+	for lo < hi {
+		m := (lo + hi) / 2
+		if l.keys[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo == l.n {
+		// All keys here are < k; the answer starts at the next leaf (whose
+		// keys are all >= ours). Returning (next, 0) is correct because
+		// leaves are ordered.
+		return l.next, 0
+	}
+	return l, lo
+}
+
+// --- interior ---
+
+func (in *btInner) childFor(key int64) int {
+	lo, hi := 0, in.n
+	for lo < hi {
+		m := (lo + hi) / 2
+		if in.keys[m] <= key {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+func (in *btInner) insert(key int64, tid TID) (btNode, int64, bool) {
+	ci := in.childFor(key)
+	right, sep, split := in.children[ci].insert(key, tid)
+	if !split {
+		return nil, 0, false
+	}
+	if in.n < btOrder {
+		copy(in.keys[ci+1:in.n+1], in.keys[ci:in.n])
+		copy(in.children[ci+2:in.n+2], in.children[ci+1:in.n+1])
+		in.keys[ci] = sep
+		in.children[ci+1] = right
+		in.n++
+		return nil, 0, false
+	}
+	// Split this interior node: promote the middle key.
+	mid := btOrder / 2
+	promoted := in.keys[mid]
+	newRight := &btInner{n: btOrder - mid - 1}
+	copy(newRight.keys[:], in.keys[mid+1:])
+	copy(newRight.children[:], in.children[mid+1:])
+	in.n = mid
+	// Re-insert the pending separator into the proper half.
+	target := in
+	if sep >= promoted {
+		target = newRight
+	}
+	ti := target.childFor(sep)
+	copy(target.keys[ti+1:target.n+1], target.keys[ti:target.n])
+	copy(target.children[ti+2:target.n+2], target.children[ti+1:target.n+1])
+	target.keys[ti] = sep
+	target.children[ti+1] = right
+	target.n++
+	return newRight, promoted, true
+}
+
+func (in *btInner) firstLeafGE(k int64) (*btLeaf, int) {
+	// Descend to the leftmost child that can contain a key >= k. On
+	// equality with a separator, go left: duplicates of the separator key
+	// may live in the left subtree (the linked leaves recover any
+	// overshoot to the left, never to the right).
+	lo, hi := 0, in.n
+	for lo < hi {
+		m := (lo + hi) / 2
+		if in.keys[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return in.children[lo].firstLeafGE(k)
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func tidOf(i int) TID { return TID{Page: PageID(i / 100), Slot: uint16(i % 100)} }
+
+func TestBTreeInsertGet(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert(int64(i%37), tidOf(i))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for k := int64(0); k < 37; k++ {
+		tids := bt.Get(k)
+		var want []TID
+		for i := 0; i < 1000; i++ {
+			if int64(i%37) == k {
+				want = append(want, tidOf(i))
+			}
+		}
+		if len(tids) != len(want) {
+			t.Fatalf("Get(%d) = %d tids, want %d", k, len(tids), len(want))
+		}
+		for i := range want {
+			if tids[i] != want[i] {
+				t.Fatalf("Get(%d)[%d] = %v, want %v (insertion order lost)", k, i, tids[i], want[i])
+			}
+		}
+	}
+	if bt.Get(999) != nil {
+		t.Error("absent key returned entries")
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	rng := rand.New(rand.NewSource(1))
+	var keys []int64
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(500))
+		keys = append(keys, k)
+		bt.Insert(k, tidOf(i))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, rangeCase := range [][2]int64{{0, 499}, {100, 200}, {250, 250}, {490, 600}, {-10, 5}, {600, 700}} {
+		lo, hi := rangeCase[0], rangeCase[1]
+		var got []int64
+		bt.AscendRange(lo, hi, func(k int64, _ TID) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []int64
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range [%d,%d]: %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("range [%d,%d] position %d: %d, want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBTreeEarlyStop(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Insert(int64(i), tidOf(i))
+	}
+	n := 0
+	bt.AscendRange(0, 99, func(int64, TID) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("visited %d after early stop", n)
+	}
+}
+
+func TestBTreeHeightGrows(t *testing.T) {
+	bt := NewBTree()
+	if bt.Height() != 1 {
+		t.Fatalf("empty height %d", bt.Height())
+	}
+	for i := 0; i < 10000; i++ {
+		bt.Insert(int64(i), tidOf(i))
+	}
+	if bt.Height() < 3 {
+		t.Errorf("10k sequential keys gave height %d; splits not propagating", bt.Height())
+	}
+	// Sanity: all keys retrievable after deep splits.
+	var n int
+	bt.AscendRange(-1<<62, 1<<62, func(int64, TID) bool { n++; return true })
+	if n != 10000 {
+		t.Errorf("full scan saw %d of 10000", n)
+	}
+}
+
+func TestBTreeDescendingInsertion(t *testing.T) {
+	bt := NewBTree()
+	for i := 9999; i >= 0; i-- {
+		bt.Insert(int64(i), tidOf(i))
+	}
+	prev := int64(-1)
+	n := 0
+	bt.AscendRange(0, 9999, func(k int64, _ TID) bool {
+		if k < prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 10000 {
+		t.Errorf("saw %d keys", n)
+	}
+}
+
+// TestBTreeAgainstReferenceProperty: arbitrary insert sequences agree with a
+// sorted-slice reference for membership and range scans, including negative
+// keys and heavy duplication.
+func TestBTreeAgainstReferenceProperty(t *testing.T) {
+	f := func(raw []int16, loSeed, hiSeed int16) bool {
+		bt := NewBTree()
+		ref := map[int64][]TID{}
+		var sorted []int64
+		for i, r := range raw {
+			k := int64(r % 50) // heavy duplication
+			bt.Insert(k, tidOf(i))
+			ref[k] = append(ref[k], tidOf(i))
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if bt.Len() != len(raw) {
+			return false
+		}
+		// Point lookups preserve insertion order.
+		for k, want := range ref {
+			got := bt.Get(k)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		// A random range agrees with the reference.
+		lo, hi := int64(loSeed%60)-5, int64(hiSeed%60)-5
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want int
+		for _, k := range sorted {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		var got int
+		bt.AscendRange(lo, hi, func(int64, TID) bool { got++; return true })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

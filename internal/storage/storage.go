@@ -1,0 +1,278 @@
+// Package storage implements the server's physical layer: fixed-width
+// records packed into 8 KB pages, heap files, and an LRU buffer pool that
+// charges simulated disk I/O to a sim.Meter on misses.
+//
+// The paper requires "no changes to the physical design of the SQL database"
+// — the middleware works against a plain heap-organized table — so the
+// storage layer is intentionally simple: heap files of fixed-width records
+// (our rows are vectors of 4-byte categorical codes), sequential scans, and
+// record fetch by TID for the keyset-cursor and TID-join experiments (§4.3.3).
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PageSize is the size of one disk page in bytes, matching SQL Server 7.0's
+// 8 KB pages.
+const PageSize = 8192
+
+// pageHeaderBytes reserves room at the start of each page for the record
+// count.
+const pageHeaderBytes = 8
+
+// PageID identifies a page within one heap file.
+type PageID int32
+
+// TID is a tuple identifier: (page, slot) within a heap file. It is stable
+// for the lifetime of the record (this storage layer never moves records).
+type TID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the TID as "page:slot".
+func (t TID) String() string { return fmt.Sprintf("%d:%d", t.Page, t.Slot) }
+
+// page is one 8 KB page holding fixed-width records.
+type page struct {
+	buf  [PageSize]byte
+	nrec uint16
+}
+
+// HeapFile is an append-only heap of fixed-width records. Pages live in
+// memory (this is a simulation of server disk, not a persistence layer) and
+// all access is metered through the owning BufferPool so that scans charge
+// realistic I/O.
+type HeapFile struct {
+	recLen  int
+	perPage int
+	pages   []*page
+	nrows   int64
+}
+
+// NewHeapFile creates a heap file for records of recLen bytes.
+func NewHeapFile(recLen int) *HeapFile {
+	if recLen <= 0 || recLen > PageSize-pageHeaderBytes {
+		panic(fmt.Sprintf("storage: invalid record length %d", recLen))
+	}
+	return &HeapFile{
+		recLen:  recLen,
+		perPage: (PageSize - pageHeaderBytes) / recLen,
+	}
+}
+
+// RecLen returns the fixed record length in bytes.
+func (h *HeapFile) RecLen() int { return h.recLen }
+
+// NumRows returns the number of records in the file.
+func (h *HeapFile) NumRows() int64 { return h.nrows }
+
+// NumPages returns the number of pages in the file.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// Bytes returns the on-disk size of the file.
+func (h *HeapFile) Bytes() int64 { return int64(len(h.pages)) * PageSize }
+
+// RecordsPerPage returns how many records fit in one page.
+func (h *HeapFile) RecordsPerPage() int { return h.perPage }
+
+// Insert appends one record and returns its TID. rec must be exactly RecLen
+// bytes.
+func (h *HeapFile) Insert(rec []byte) TID {
+	if len(rec) != h.recLen {
+		panic(fmt.Sprintf("storage: record length %d, want %d", len(rec), h.recLen))
+	}
+	var p *page
+	if n := len(h.pages); n > 0 && int(h.pages[n-1].nrec) < h.perPage {
+		p = h.pages[n-1]
+	} else {
+		p = &page{}
+		h.pages = append(h.pages, p)
+	}
+	slot := p.nrec
+	off := pageHeaderBytes + int(slot)*h.recLen
+	copy(p.buf[off:off+h.recLen], rec)
+	p.nrec++
+	h.nrows++
+	return TID{Page: PageID(len(h.pages) - 1), Slot: slot}
+}
+
+// Record returns the raw bytes of the record at tid without metering, and
+// whether the slot exists. The returned slice aliases page memory and must
+// not be modified. Callers that need I/O accounting must pair this with
+// BufferPool.TouchForScan or use BufferPool.Fetch.
+func (h *HeapFile) Record(tid TID) ([]byte, bool) {
+	rec, err := h.record(tid)
+	if err != nil {
+		return nil, false
+	}
+	return rec, true
+}
+
+// record returns the raw bytes of the record at tid without metering. The
+// returned slice aliases page memory and must not be modified or retained
+// across inserts.
+func (h *HeapFile) record(tid TID) ([]byte, error) {
+	if int(tid.Page) < 0 || int(tid.Page) >= len(h.pages) {
+		return nil, fmt.Errorf("storage: TID %v: page out of range [0,%d)", tid, len(h.pages))
+	}
+	p := h.pages[tid.Page]
+	if tid.Slot >= p.nrec {
+		return nil, fmt.Errorf("storage: TID %v: slot out of range [0,%d)", tid, p.nrec)
+	}
+	off := pageHeaderBytes + int(tid.Slot)*h.recLen
+	return p.buf[off : off+h.recLen], nil
+}
+
+// BufferPool is an LRU cache of (file, page) frames. A hit is free; a miss
+// charges one ServerPageIO to the meter. The pool capacity models the
+// server's buffer cache: with the default small capacity, repeated full
+// scans of a large table keep paying disk I/O, which is the regime the
+// paper's middleware is designed for.
+type BufferPool struct {
+	meter    *sim.Meter
+	capacity int
+	frames   map[frameKey]*frameNode
+	head     *frameNode // most recently used
+	tail     *frameNode // least recently used
+	hits     int64
+	misses   int64
+}
+
+type frameKey struct {
+	file *HeapFile
+	page PageID
+}
+
+type frameNode struct {
+	key        frameKey
+	prev, next *frameNode
+}
+
+// NewBufferPool creates a pool holding up to capacity pages. capacity must
+// be at least 1.
+func NewBufferPool(meter *sim.Meter, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic("storage: buffer pool capacity must be >= 1")
+	}
+	return &BufferPool{
+		meter:    meter,
+		capacity: capacity,
+		frames:   make(map[frameKey]*frameNode, capacity),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Stats returns the cumulative hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses int64) { return bp.hits, bp.misses }
+
+// touch records an access to (file, page), charging disk I/O on a miss and
+// maintaining LRU order.
+func (bp *BufferPool) touch(f *HeapFile, pid PageID) {
+	k := frameKey{f, pid}
+	if n, ok := bp.frames[k]; ok {
+		bp.hits++
+		bp.moveToFront(n)
+		return
+	}
+	bp.misses++
+	bp.meter.Charge(sim.CtrServerPages, bp.meter.Costs().ServerPageIO, 1)
+	n := &frameNode{key: k}
+	bp.frames[k] = n
+	bp.pushFront(n)
+	if len(bp.frames) > bp.capacity {
+		bp.evict()
+	}
+}
+
+// TouchForScan records a sequential page access during a pull-based cursor
+// scan, charging disk I/O on a pool miss.
+func (bp *BufferPool) TouchForScan(f *HeapFile, pid PageID) { bp.touch(f, pid) }
+
+// Invalidate drops all frames belonging to the file (used when a temp table
+// is dropped).
+func (bp *BufferPool) Invalidate(f *HeapFile) {
+	for n := bp.head; n != nil; {
+		next := n.next
+		if n.key.file == f {
+			bp.unlink(n)
+			delete(bp.frames, n.key)
+		}
+		n = next
+	}
+}
+
+func (bp *BufferPool) pushFront(n *frameNode) {
+	n.prev = nil
+	n.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = n
+	}
+	bp.head = n
+	if bp.tail == nil {
+		bp.tail = n
+	}
+}
+
+func (bp *BufferPool) unlink(n *frameNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		bp.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		bp.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (bp *BufferPool) moveToFront(n *frameNode) {
+	if bp.head == n {
+		return
+	}
+	bp.unlink(n)
+	bp.pushFront(n)
+}
+
+func (bp *BufferPool) evict() {
+	if bp.tail == nil {
+		return
+	}
+	n := bp.tail
+	bp.unlink(n)
+	delete(bp.frames, n.key)
+}
+
+// Scan iterates the heap file in physical order through the buffer pool,
+// calling fn for each record. fn must not retain rec. Iteration stops early
+// if fn returns false. Each page access is metered (disk I/O on pool miss).
+func (bp *BufferPool) Scan(f *HeapFile, fn func(tid TID, rec []byte) bool) {
+	for pi, p := range f.pages {
+		bp.touch(f, PageID(pi))
+		for s := uint16(0); s < p.nrec; s++ {
+			off := pageHeaderBytes + int(s)*f.recLen
+			if !fn(TID{Page: PageID(pi), Slot: s}, p.buf[off:off+f.recLen]) {
+				return
+			}
+		}
+	}
+}
+
+// Fetch reads one record by TID through the buffer pool, charging the
+// random-I/O TIDFetch cost in addition to the page access.
+func (bp *BufferPool) Fetch(f *HeapFile, tid TID) ([]byte, error) {
+	rec, err := f.record(tid)
+	if err != nil {
+		return nil, err
+	}
+	bp.touch(f, tid.Page)
+	bp.meter.Charge(sim.CtrTIDFetches, bp.meter.Costs().TIDFetch, 1)
+	return rec, nil
+}

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func rec8(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestHeapInsertScanRoundTrip(t *testing.T) {
+	h := NewHeapFile(8)
+	meter := sim.NewDefaultMeter()
+	bp := NewBufferPool(meter, 4)
+
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		h.Insert(rec8(i))
+	}
+	if h.NumRows() != n {
+		t.Fatalf("NumRows = %d", h.NumRows())
+	}
+	var got []uint64
+	bp.Scan(h, func(tid TID, rec []byte) bool {
+		got = append(got, binary.LittleEndian.Uint64(rec))
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("scanned %d rows", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("row %d = %d (physical order must equal insertion order)", i, v)
+		}
+	}
+}
+
+func TestHeapFetchByTID(t *testing.T) {
+	h := NewHeapFile(8)
+	meter := sim.NewDefaultMeter()
+	bp := NewBufferPool(meter, 4)
+	var tids []TID
+	for i := uint64(0); i < 3000; i++ {
+		tids = append(tids, h.Insert(rec8(i*7)))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(tids))
+		rec, err := bp.Fetch(h, tids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(rec); got != uint64(i*7) {
+			t.Fatalf("Fetch(%v) = %d, want %d", tids[i], got, i*7)
+		}
+	}
+	if meter.Count(sim.CtrTIDFetches) != 200 {
+		t.Errorf("TID fetches = %d, want 200", meter.Count(sim.CtrTIDFetches))
+	}
+}
+
+func TestHeapRecordBounds(t *testing.T) {
+	h := NewHeapFile(8)
+	h.Insert(rec8(1))
+	if _, ok := h.Record(TID{Page: 5, Slot: 0}); ok {
+		t.Error("out-of-range page accepted")
+	}
+	if _, ok := h.Record(TID{Page: 0, Slot: 99}); ok {
+		t.Error("out-of-range slot accepted")
+	}
+	if rec, ok := h.Record(TID{Page: 0, Slot: 0}); !ok || binary.LittleEndian.Uint64(rec) != 1 {
+		t.Error("valid TID rejected")
+	}
+}
+
+func TestRecordsPerPageAndBytes(t *testing.T) {
+	h := NewHeapFile(100)
+	want := (PageSize - pageHeaderBytes) / 100
+	if h.RecordsPerPage() != want {
+		t.Fatalf("RecordsPerPage = %d, want %d", h.RecordsPerPage(), want)
+	}
+	for i := 0; i < want+1; i++ { // one page plus one record
+		h.Insert(make([]byte, 100))
+	}
+	if h.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", h.NumPages())
+	}
+	if h.Bytes() != 2*PageSize {
+		t.Errorf("Bytes = %d", h.Bytes())
+	}
+}
+
+func TestNewHeapFilePanics(t *testing.T) {
+	for _, recLen := range []int{0, -4, PageSize} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("recLen %d: no panic", recLen)
+				}
+			}()
+			NewHeapFile(recLen)
+		}()
+	}
+}
+
+func TestInsertWrongLengthPanics(t *testing.T) {
+	h := NewHeapFile(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong record length")
+		}
+	}()
+	h.Insert([]byte{1, 2, 3})
+}
+
+func TestBufferPoolChargesMissesOnly(t *testing.T) {
+	h := NewHeapFile(8)
+	meter := sim.NewDefaultMeter()
+	perPage := h.RecordsPerPage()
+	// Fill exactly 3 pages.
+	for i := 0; i < 3*perPage; i++ {
+		h.Insert(rec8(uint64(i)))
+	}
+	bp := NewBufferPool(meter, 10) // all pages fit
+	count := func() (n int) {
+		bp.Scan(h, func(TID, []byte) bool { n++; return n >= 0 })
+		return n
+	}
+	count()
+	if got := meter.Count(sim.CtrServerPages); got != 3 {
+		t.Fatalf("first scan read %d pages, want 3", got)
+	}
+	count()
+	if got := meter.Count(sim.CtrServerPages); got != 3 {
+		t.Fatalf("second scan re-read pages (%d); pool should have cached all 3", got)
+	}
+	hits, misses := bp.Stats()
+	if misses != 3 || hits != 3 {
+		t.Errorf("hits=%d misses=%d, want 3/3", hits, misses)
+	}
+}
+
+func TestBufferPoolEvictsLRU(t *testing.T) {
+	h := NewHeapFile(8)
+	meter := sim.NewDefaultMeter()
+	perPage := h.RecordsPerPage()
+	for i := 0; i < 4*perPage; i++ { // 4 pages
+		h.Insert(rec8(uint64(i)))
+	}
+	bp := NewBufferPool(meter, 2) // pool smaller than file
+	bp.Scan(h, func(TID, []byte) bool { return true })
+	bp.Scan(h, func(TID, []byte) bool { return true })
+	// With LRU capacity 2 over a 4-page sequential scan, every access
+	// misses on both scans.
+	if got := meter.Count(sim.CtrServerPages); got != 8 {
+		t.Errorf("pages read = %d, want 8 (sequential flooding)", got)
+	}
+}
+
+func TestBufferPoolInvalidate(t *testing.T) {
+	h1 := NewHeapFile(8)
+	h2 := NewHeapFile(8)
+	meter := sim.NewDefaultMeter()
+	bp := NewBufferPool(meter, 10)
+	h1.Insert(rec8(1))
+	h2.Insert(rec8(2))
+	bp.Scan(h1, func(TID, []byte) bool { return true })
+	bp.Scan(h2, func(TID, []byte) bool { return true })
+	bp.Invalidate(h1)
+	before := meter.Count(sim.CtrServerPages)
+	bp.Scan(h2, func(TID, []byte) bool { return true })
+	if meter.Count(sim.CtrServerPages) != before {
+		t.Error("invalidate evicted the wrong file's pages")
+	}
+	bp.Scan(h1, func(TID, []byte) bool { return true })
+	if meter.Count(sim.CtrServerPages) != before+1 {
+		t.Error("invalidated page still cached")
+	}
+}
+
+func TestBufferPoolCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero capacity")
+		}
+	}()
+	NewBufferPool(sim.NewDefaultMeter(), 0)
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := NewHeapFile(8)
+	bp := NewBufferPool(sim.NewDefaultMeter(), 4)
+	for i := 0; i < 100; i++ {
+		h.Insert(rec8(uint64(i)))
+	}
+	n := 0
+	bp.Scan(h, func(TID, []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("scan visited %d records after early stop", n)
+	}
+}
+
+// TestHeapRoundTripProperty: inserting arbitrary records and scanning them
+// back yields exactly the inserted sequence, and every returned TID resolves
+// to its record.
+func TestHeapRoundTripProperty(t *testing.T) {
+	f := func(recs [][4]byte) bool {
+		h := NewHeapFile(4)
+		bp := NewBufferPool(sim.NewDefaultMeter(), 2)
+		tids := make([]TID, len(recs))
+		for i, r := range recs {
+			tids[i] = h.Insert(r[:])
+		}
+		i := 0
+		ok := true
+		bp.Scan(h, func(tid TID, rec []byte) bool {
+			if i >= len(recs) || !bytes.Equal(rec, recs[i][:]) || tid != tids[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		if !ok || i != len(recs) {
+			return false
+		}
+		for j, tid := range tids {
+			rec, err := bp.Fetch(h, tid)
+			if err != nil || !bytes.Equal(rec, recs[j][:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
