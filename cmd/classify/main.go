@@ -55,6 +55,7 @@ func run() error {
 		staging = flag.String("staging", "memory", "staging: none, file, memory or file+memory")
 		policy  = flag.String("policy", "split", "file policy: split, pernode or singleton")
 		memory  = flag.Float64("memory", 0, "middleware memory budget in MB (0 = unlimited)")
+		workers = flag.Int("workers", 1, "parallel scan workers per batch (1 = sequential)")
 	)
 	flag.Parse()
 
@@ -81,7 +82,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	mcfg := mw.Config{Memory: int64(*memory * (1 << 20))}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1")
+	}
+	mcfg := mw.Config{Memory: int64(*memory * (1 << 20)), Workers: *workers}
 	switch *staging {
 	case "none":
 		mcfg.Staging = mw.StageNone

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 1.0] [-run fig6] [-format text|markdown] [-out FILE] [-list]
+//	experiments [-scale 1.0] [-run fig6] [-format text|markdown|json] [-out FILE] [-list]
 //
 // Scale multiplies the workload sizes (leaves, rows); 1.0 completes in well
 // under a minute, larger values approach the paper's sizes at the cost of
@@ -25,7 +25,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	run := flag.String("run", "", "run only this experiment id (see -list)")
-	format := flag.String("format", "text", "output format: text or markdown")
+	format := flag.String("format", "text", "output format: text, markdown or json")
 	out := flag.String("out", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	check := flag.Bool("check", false, "validate each figure's shape against the paper's claim; exit nonzero on failure")
@@ -90,9 +90,17 @@ func main() {
 			}
 			continue
 		}
-		if *format == "markdown" {
+		switch *format {
+		case "markdown":
 			b.WriteString(e.Markdown())
-		} else {
+		case "json":
+			js, err := e.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			b.WriteString(js)
+		default:
 			b.WriteString(e.Text())
 			b.WriteString("\n")
 		}

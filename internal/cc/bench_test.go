@@ -46,6 +46,38 @@ func BenchmarkClassVector(b *testing.B) {
 	}
 }
 
+// BenchmarkSortedInsert inserts strictly increasing keys — the adversarial
+// monotone pattern produced by sequential attribute codes. The old unbalanced
+// BST degenerated to a linked list here (O(n) per insert, quadratic total);
+// the treap's hash-derived priorities keep each insert O(log n), so ns/op
+// stays flat as b.N grows.
+func BenchmarkSortedInsert(b *testing.B) {
+	t := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Add(0, data.Value(i), 0, 1)
+	}
+}
+
+// BenchmarkMerge measures folding one 4k-entry shard into a same-sized table,
+// the per-worker post-barrier cost of the parallel scan pipeline.
+func BenchmarkMerge(b *testing.B) {
+	attrs := []int{0, 1, 2, 3, 4}
+	shard := New()
+	for _, r := range benchRows(4096) {
+		shard.AddRow(r, attrs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dst := shard.Clone()
+		b.StartTimer()
+		dst.Merge(shard)
+	}
+}
+
 // BenchmarkEstimate measures the scheduler's Est_cc computation.
 func BenchmarkEstimate(b *testing.B) {
 	t := New()

@@ -9,11 +9,20 @@
 // by (attribute, value, class); "because of the way points are sorted in the
 // tree, retrieving a vector of counts for the states of a class correlated
 // with a particular attribute and its state is efficient". This package
-// keeps that representation (an unbalanced BST over the composite key, with
+// keeps that representation (a search tree over the composite key, with
 // in-order traversal grouping all classes of one (attr,value) together) and
 // layers the derived quantities the classifier and the middleware scheduler
 // need: class vectors, per-attribute cardinalities card(n,Aj), and memory
 // footprints for the scheduler's budget.
+//
+// The tree is a treap: each node carries a priority derived by hashing its
+// key, and rotations keep the structure a max-heap over priorities. A plain
+// unbalanced BST degenerates to a linked list under the monotone key
+// sequences that sequential attribute codes produce (sorted inserts turned
+// AddRow into O(n) per entry); hashing the key gives each node a
+// deterministic pseudo-random priority, so the expected depth is O(log n)
+// for every insertion order while the shape — and therefore every walk,
+// count and accounting result — remains a pure function of the key set.
 package cc
 
 import (
@@ -46,13 +55,27 @@ func (k Key) less(o Key) bool {
 
 type node struct {
 	key         Key
+	prio        uint64 // hash-derived treap priority (max-heap)
 	count       int64
 	left, right *node
 }
 
+// priority derives the node's treap priority from its key: a splitmix64-style
+// bit mix over the packed (attr, val, class) fields. Deterministic — two
+// tables holding the same key set always have the same shape, on every host.
+func (k Key) priority() uint64 {
+	x := uint64(uint32(k.Attr))<<42 ^ uint64(uint32(k.Val))<<21 ^ uint64(uint32(k.Class))
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // EntryBytes is the accounted in-memory footprint of one counts-table entry
 // (key + count + two child pointers), used by the middleware's memory
-// budgeting.
+// budgeting. It is a model constant: the treap priority is derived storage
+// and is deliberately not accounted, keeping budget arithmetic identical to
+// the original BST representation.
 const EntryBytes = 40
 
 // Table is one node's counts table. The zero value is an empty table ready
@@ -80,22 +103,51 @@ func (t *Table) Rows() int64 { return t.rows }
 // entry if absent. It reports whether a new entry was created.
 func (t *Table) Add(attr int, val, class data.Value, delta int64) bool {
 	k := Key{Attr: attr, Val: val, Class: class}
-	p := &t.root
-	for *p != nil {
-		n := *p
-		switch {
-		case k.less(n.key):
-			p = &n.left
-		case n.key.less(k):
-			p = &n.right
-		default:
-			n.count += delta
-			return false
-		}
+	created := false
+	t.root = insert(t.root, k, delta, &created)
+	if created {
+		t.entries++
 	}
-	*p = &node{key: k, count: delta}
-	t.entries++
-	return true
+	return created
+}
+
+// insert descends to the key's BST position and rotates the new node up
+// while its priority exceeds its parent's, restoring the treap heap order.
+// Recursion depth is the tree height, O(log n) in expectation.
+func insert(n *node, k Key, delta int64, created *bool) *node {
+	if n == nil {
+		*created = true
+		return &node{key: k, prio: k.priority(), count: delta}
+	}
+	switch {
+	case k.less(n.key):
+		n.left = insert(n.left, k, delta, created)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	case n.key.less(k):
+		n.right = insert(n.right, k, delta, created)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	default:
+		n.count += delta
+	}
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
 }
 
 // AddRow accumulates one data row over the attribute set attrs (indices into
@@ -251,6 +303,22 @@ func (t *Table) Equal(o *Table) bool {
 		}
 	})
 	return eq
+}
+
+// Merge folds every entry of o into t, summing per-key counts and the row
+// totals. This is the shard-combining step of the parallel scan pipeline:
+// each worker counts its disjoint data partition into a private shard table,
+// and because counting is a commutative aggregation, merging the shards
+// yields exactly the table a single sequential scan would have built. Entry
+// and byte accounting are maintained by the underlying Add calls, and the
+// treap shape of the result depends only on the merged key set, so the merge
+// order does not affect any observable state. o is not modified.
+func (t *Table) Merge(o *Table) {
+	if o == nil {
+		return
+	}
+	o.Walk(func(k Key, c int64) { t.Add(k.Attr, k.Val, k.Class, c) })
+	t.rows += o.rows
 }
 
 // Clone returns a deep copy of the table.

@@ -1,0 +1,177 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// depth returns the height of the subtree rooted at n.
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// checkTreap verifies both treap invariants: BST order over keys and
+// max-heap order over priorities.
+func checkTreap(t *testing.T, n *node) {
+	t.Helper()
+	if n == nil {
+		return
+	}
+	if n.left != nil {
+		if !n.left.key.less(n.key) {
+			t.Fatalf("BST order violated: %v not < %v", n.left.key, n.key)
+		}
+		if n.left.prio > n.prio {
+			t.Fatalf("heap order violated at %v", n.key)
+		}
+	}
+	if n.right != nil {
+		if !n.key.less(n.right.key) {
+			t.Fatalf("BST order violated: %v not < %v", n.key, n.right.key)
+		}
+		if n.right.prio > n.prio {
+			t.Fatalf("heap order violated at %v", n.key)
+		}
+	}
+	checkTreap(t, n.left)
+	checkTreap(t, n.right)
+}
+
+// TestSortedInsertBalanced is the degeneration regression: monotone keys
+// (sequential attribute codes from datagen) collapsed the old unbalanced BST
+// to a linked list of depth n. The treap must stay at O(log n) depth.
+func TestSortedInsertBalanced(t *testing.T) {
+	tb := New()
+	const n = 1 << 14 // log2 = 14
+	for i := 0; i < n; i++ {
+		tb.Add(0, data.Value(i), 0, 1)
+	}
+	if tb.Entries() != n {
+		t.Fatalf("entries = %d, want %d", tb.Entries(), n)
+	}
+	// Random treaps have expected depth ~1.39*log2(n) and are exponentially
+	// unlikely to exceed a few multiples of it; 4*log2(n) = 56 is generous,
+	// while the degenerate BST would be 16384 deep.
+	if d := depth(tb.root); d > 4*14 {
+		t.Errorf("sorted inserts produced depth %d (> %d): tree degenerated", d, 4*14)
+	}
+	checkTreap(t, tb.root)
+
+	// Reverse-sorted inserts are equally adversarial.
+	rv := New()
+	for i := n - 1; i >= 0; i-- {
+		rv.Add(0, data.Value(i), 0, 1)
+	}
+	if d := depth(rv.root); d > 4*14 {
+		t.Errorf("reverse-sorted inserts produced depth %d", d)
+	}
+	if !tb.Equal(rv) {
+		t.Error("insertion order changed table contents")
+	}
+}
+
+// TestTreapShapeDeterministic: the tree shape is a pure function of the key
+// set, independent of insertion order (priorities are key hashes).
+func TestTreapShapeDeterministic(t *testing.T) {
+	keys := make([]Key, 0, 500)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		keys = append(keys, Key{Attr: rng.Intn(8), Val: data.Value(rng.Intn(50)), Class: data.Value(rng.Intn(4))})
+	}
+	build := func(perm []int) *Table {
+		tb := New()
+		for _, i := range perm {
+			tb.Add(keys[i].Attr, keys[i].Val, keys[i].Class, 1)
+		}
+		return tb
+	}
+	perm := rng.Perm(len(keys))
+	fwd := make([]int, len(keys))
+	for i := range fwd {
+		fwd[i] = i
+	}
+	a, b := build(fwd), build(perm)
+	var shapeA, shapeB []Key
+	collect := func(dst *[]Key) func(n *node) {
+		var rec func(n *node)
+		rec = func(n *node) {
+			if n == nil {
+				return
+			}
+			*dst = append(*dst, n.key) // pre-order encodes the shape
+			rec(n.left)
+			rec(n.right)
+		}
+		return rec
+	}
+	collect(&shapeA)(a.root)
+	collect(&shapeB)(b.root)
+	if len(shapeA) != len(shapeB) {
+		t.Fatalf("shapes differ in size: %d vs %d", len(shapeA), len(shapeB))
+	}
+	for i := range shapeA {
+		if shapeA[i] != shapeB[i] {
+			t.Fatalf("shape differs at pre-order position %d: %v vs %v", i, shapeA[i], shapeB[i])
+		}
+	}
+	checkTreap(t, a.root)
+}
+
+// TestMergeMatchesSequential: building shard tables over disjoint row
+// partitions and merging them must equal one sequential build — the
+// correctness contract of the parallel scan pipeline.
+func TestMergeMatchesSequential(t *testing.T) {
+	ds, want := buildRandom(900, 11)
+	attrs := []int{0, 1, 2, 3, 4}
+	for _, nparts := range []int{2, 3, 4, 7} {
+		shards := make([]*Table, nparts)
+		for p := 0; p < nparts; p++ {
+			shards[p] = New()
+			lo := p * ds.N() / nparts
+			hi := (p + 1) * ds.N() / nparts
+			for _, r := range ds.Rows[lo:hi] {
+				shards[p].AddRow(r, attrs)
+			}
+		}
+		merged := shards[0]
+		for _, sh := range shards[1:] {
+			merged.Merge(sh)
+		}
+		if !merged.Equal(want) {
+			t.Fatalf("nparts=%d: merged shards differ from sequential build", nparts)
+		}
+		if merged.Rows() != want.Rows() {
+			t.Fatalf("nparts=%d: rows = %d, want %d", nparts, merged.Rows(), want.Rows())
+		}
+		if merged.Bytes() != want.Bytes() {
+			t.Fatalf("nparts=%d: bytes = %d, want %d", nparts, merged.Bytes(), want.Bytes())
+		}
+		checkTreap(t, merged.root)
+	}
+}
+
+// TestMergeEmptyAndNil covers the degenerate merge inputs.
+func TestMergeEmptyAndNil(t *testing.T) {
+	tb := New()
+	tb.Add(1, 2, 0, 5)
+	tb.SetRows(3)
+	tb.Merge(nil)
+	tb.Merge(New())
+	if tb.Entries() != 1 || tb.Rows() != 3 || tb.Count(1, 2, 0) != 5 {
+		t.Errorf("merge of nil/empty changed the table: %v", tb)
+	}
+	empty := New()
+	empty.Merge(tb)
+	if !empty.Equal(tb) {
+		t.Errorf("merge into empty: got %v, want %v", empty, tb)
+	}
+}

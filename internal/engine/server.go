@@ -52,6 +52,10 @@ func (s *Server) TableName() string { return s.table.Name }
 // NumRows returns the number of rows in the data table.
 func (s *Server) NumRows() int64 { return s.table.NumRows() }
 
+// NumPages returns the number of heap pages backing the data table — the
+// unit the partitioned scan divides between workers.
+func (s *Server) NumPages() int { return s.table.NumPages() }
+
 // DataBytes returns the on-disk size of the data table.
 func (s *Server) DataBytes() int64 { return s.table.Bytes() }
 
@@ -113,6 +117,86 @@ func (c *scanCursor) Next() (data.Row, bool) {
 }
 
 func (c *scanCursor) Close() { c.closed = true }
+
+// OpenScanPartition initiates a cursor scan over one horizontal partition of
+// the data table: partition part of nparts, formed by splitting the heap
+// into nparts contiguous, disjoint page ranges. Every worker of a parallel
+// batch opens its own partition cursor (so the cursor-open cost is paid once
+// per partition) and all of the cursor's costs are charged to lane — the
+// worker's forked meter. A nil lane charges the server's own meter.
+//
+// Unlike OpenScan, a partition cursor bypasses the shared LRU buffer pool
+// and charges ServerPageIO for every page it reads. Concurrent workers would
+// interleave nondeterministically in the pool's LRU state, so the pool
+// cannot be consulted without making page-I/O accounting depend on goroutine
+// scheduling; the cold-scan model keeps parallel accounting bit-for-bit
+// reproducible and matches the physical reality that n concurrent scan
+// streams defeat a small shared cache. The pool's contents are left
+// untouched for later sequential operations.
+func (s *Server) OpenScanPartition(f predicate.Filter, part, nparts int, lane *sim.Meter) Cursor {
+	if part < 0 || nparts < 1 || part >= nparts {
+		panic(fmt.Sprintf("engine: invalid scan partition %d of %d", part, nparts))
+	}
+	if lane == nil {
+		lane = s.meter
+	}
+	np := s.table.heap.NumPages()
+	lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
+	return &partScanCursor{
+		s:      s,
+		lane:   lane,
+		filter: f,
+		page:   storage.PageID(part * np / nparts),
+		end:    storage.PageID((part + 1) * np / nparts),
+	}
+}
+
+// partScanCursor is a scanCursor restricted to a page range [page, end),
+// charging a dedicated lane meter. It reads heap pages directly (the heap is
+// immutable during scans) and never touches shared engine state, so any
+// number of partition cursors over disjoint ranges may run concurrently.
+type partScanCursor struct {
+	s      *Server
+	lane   *sim.Meter
+	filter predicate.Filter
+	page   storage.PageID
+	end    storage.PageID
+	slot   uint16
+	row    data.Row
+	closed bool
+}
+
+func (c *partScanCursor) Next() (data.Row, bool) {
+	if c.closed {
+		return nil, false
+	}
+	h := c.s.table.heap
+	ncols := len(c.s.table.Cols)
+	costs := c.lane.Costs()
+	for c.page < c.end {
+		rec, ok := heapRecord(h, c.page, c.slot)
+		if !ok {
+			c.page++
+			c.slot = 0
+			continue
+		}
+		if c.slot == 0 {
+			// First record on the page: cold-scan page read (see
+			// OpenScanPartition for why the buffer pool is bypassed).
+			c.lane.Charge(sim.CtrServerPages, costs.ServerPageIO, 1)
+		}
+		c.slot++
+		c.row = data.DecodeRow(rec, ncols, c.row)
+		c.lane.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+		if c.filter.Eval(c.row) {
+			c.lane.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+			return c.row, true
+		}
+	}
+	return nil, false
+}
+
+func (c *partScanCursor) Close() { c.closed = true }
 
 // Keyset is a keyset cursor (§4.3.3c): the set of TIDs of rows satisfying a
 // predicate, captured by one qualifying scan. Re-scanning the keyset fetches

@@ -194,6 +194,23 @@ var checks = map[string]func(*Experiment) error{
 		}
 		return nil
 	},
+	"scaling": func(e *Experiment) error {
+		// Adding workers must pay: in every configuration, 2 workers beat 1
+		// and 4 workers beat 1 on virtual build time.
+		for _, s := range e.Series {
+			one := s.Points[0].Seconds
+			for _, p := range s.Points[1:] {
+				if p.X > 4 {
+					continue // 8 workers may flatten against serial fractions
+				}
+				if p.Seconds >= one {
+					return fmt.Errorf("%s: %g workers (%.3fs) not faster than 1 worker (%.3fs)",
+						s.Name, p.X, p.Seconds, one)
+				}
+			}
+		}
+		return nil
+	},
 	"sensitivity": func(e *Experiment) error {
 		caching, none := e.Series[0].Points, e.Series[1].Points
 		for i := range caching {

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,6 +95,16 @@ func (e *Experiment) xAt(i int) string {
 		return p.Label
 	}
 	return fmt.Sprintf("%.3g", p.X)
+}
+
+// JSON renders the experiment as indented JSON, for machine consumption
+// (benchmark artifacts, plotting scripts).
+func (e *Experiment) JSON() (string, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
 }
 
 // Text renders the experiment as an aligned console table.
@@ -210,6 +221,7 @@ func Runners() []Runner {
 		{"abl-batching", AblationBatching, "ablation: multi-node single-scan counting (§4.1.1)"},
 		{"abl-rule3", AblationRule3, "ablation: Rule 3 smallest-estimate-first admission"},
 		{"sensitivity", Sensitivity, "cost-model sensitivity of the headline orderings"},
+		{"scaling", ScalingWorkers, "parallel scan pipeline speedup, workers 1-8"},
 	}
 }
 

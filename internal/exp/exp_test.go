@@ -154,6 +154,31 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
+// TestScalingWorkersTiny runs the parallel-pipeline experiment at a tiny
+// scale. Unlike the full-scale suites it does NOT skip under -short, so the
+// race-detector pass (`go test -race -short ./...`, see verify.sh) always
+// exercises the exp → mw multi-worker path; the runner itself errors if any
+// worker count grows a different tree.
+func TestScalingWorkersTiny(t *testing.T) {
+	e, err := ScalingWorkers(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(e.Series))
+	}
+	for _, s := range e.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("%s: got %d points, want 4 (workers 1,2,4,8)", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				t.Errorf("%s workers=%g: non-positive time %v", s.Name, p.X, p.Seconds)
+			}
+		}
+	}
+}
+
 // TestGetAndIDs covers the registry helpers.
 func TestGetAndIDs(t *testing.T) {
 	ids := IDs()

@@ -1,6 +1,7 @@
 package mw
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/engine"
@@ -53,6 +54,44 @@ func driveToCompletion(m *Middleware, ds interface{ N() int }) error {
 		}
 	}
 	return nil
+}
+
+// BenchmarkStepWorkers measures the root server-scan Step at increasing
+// worker counts. ns/op is real wall-clock; the extra vns/op metric is the
+// batch's virtual (simulated) duration, which the parallel cost model should
+// shrink as workers grow even when wall-clock gains are noisy at this size.
+func BenchmarkStepWorkers(b *testing.B) {
+	ds := randDataset(20000, 6)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			var virtual int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srv, err := engine.NewServer(engine.New(sim.NewDefaultMeter(), 0), "cases", ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := New(srv, Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Enqueue(&Request{NodeID: 0, ParentID: -1, Attrs: []int{0, 1, 2, 3}, Rows: int64(ds.N()), EstCC: 4096}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := m.Step(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				virtual += int64(m.Meter().Now())
+				m.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(virtual)/float64(b.N), "vns/op")
+		})
+	}
 }
 
 // BenchmarkStepSingleScan measures one scheduler+scan round servicing the

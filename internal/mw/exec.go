@@ -11,11 +11,22 @@ import (
 	"repro/internal/sim"
 )
 
+// ccWork is the working state for one admitted request during a batched
+// scan: the request, its counted attribute set (remaining attributes plus
+// the class column) and the counts table under construction.
+type ccWork struct {
+	req   *Request
+	attrs []int
+	cc    *cc.Table
+}
+
 // Step schedules and executes one batch (§4.1.1): it picks the next set of
 // active nodes per the priority rules, builds all their counts tables in a
 // single scan of the chosen source, performs the planned staging, and
-// returns the fulfilled results. It returns (nil, nil) when no requests are
-// pending.
+// returns the fulfilled results. With Config.Workers > 1 the scan fans out
+// over partitioned workers (see exec_parallel.go); otherwise it is the
+// paper's strictly sequential execution module. It returns (nil, nil) when
+// no requests are pending.
 func (m *Middleware) Step() ([]*Result, error) {
 	b := m.schedule()
 	if b == nil {
@@ -34,17 +45,12 @@ func (m *Middleware) Step() ([]*Result, error) {
 
 	// Working state per admitted request.
 	classIdx := m.schema.ClassIndex()
-	type work struct {
-		req   *Request
-		attrs []int // counted attribute set: remaining attrs + class column
-		cc    *cc.Table
-	}
-	live := make([]*work, 0, len(b.reqs))
+	live := make([]*ccWork, 0, len(b.reqs))
 	for _, r := range b.reqs {
 		attrs := make([]int, 0, len(r.Attrs)+1)
 		attrs = append(attrs, r.Attrs...)
 		attrs = append(attrs, classIdx)
-		live = append(live, &work{req: r, attrs: attrs, cc: cc.New()})
+		live = append(live, &ccWork{req: r, attrs: attrs, cc: cc.New()})
 	}
 	fallback := append([]*Request(nil), b.fallback...)
 
@@ -140,11 +146,41 @@ func (m *Middleware) Step() ([]*Result, error) {
 	}
 
 	if len(live) > 0 {
-		if err := m.runScan(b, process); err != nil {
+		var scanErr error
+		if nworkers, psrv := m.planParallel(b); nworkers > 1 {
+			var pres *parallelScanResult
+			pres, scanErr = m.runScanParallel(b, plan, live, psrv, nworkers, budget)
+			if scanErr == nil {
+				live = pres.live
+				ccBytes, teeBytes = pres.ccBytes, pres.teeBytes
+				requeued = append(requeued, pres.requeued...)
+				fallback = append(fallback, pres.fallback...)
+				// Re-check the eviction/fallback path post-merge: the
+				// per-worker budget slices are only a mid-scan
+				// approximation, and the merged tables plus concatenated
+				// tees must fit the real remaining budget.
+				for ccBytes+teeBytes > budget {
+					if dropLargestMemTee() {
+						continue
+					}
+					if m.evictMemoryStageExcept(b.stage) {
+						budget = m.memBudgetLeft()
+						continue
+					}
+					if len(live) == 0 {
+						break
+					}
+					evictLargest()
+				}
+			}
+		} else {
+			scanErr = m.runScan(b, process)
+		}
+		if scanErr != nil {
 			for _, t := range plan.fileTees {
 				t.writer.Abort()
 			}
-			return nil, err
+			return nil, scanErr
 		}
 	}
 

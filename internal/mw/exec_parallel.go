@@ -1,0 +1,346 @@
+package mw
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// This file implements the multi-worker batched-scan pipeline: with
+// Config.Workers > 1, Step splits the batch's data source into disjoint
+// partitions and fans them out to real goroutines. The design constraint is
+// determinism: results, staging contents and the virtual clock must be
+// bit-for-bit reproducible regardless of GOMAXPROCS or goroutine
+// interleaving, so
+//
+//   - every worker touches only worker-local state (CC shard tables, staging
+//     buffers, a forked lane meter) — there is no shared mutable state and
+//     therefore nothing scheduling-dependent;
+//   - partitions are contiguous ranges (page ranges at the server, row
+//     ranges for staged files and memory), so concatenating worker staging
+//     buffers in partition order reproduces the sequential scan order
+//     exactly;
+//   - the parent clock advances by max(lane elapsed) at the barrier
+//     (sim.Meter.Join) plus a serial per-entry shard-merge charge, modeling
+//     the paper's multi-CPU middleware host.
+
+// parallelScanResult is the merged outcome of a multi-worker scan, consumed
+// by Step in place of the sequential scan's closure state.
+type parallelScanResult struct {
+	live     []*ccWork // surviving requests with their merged CC tables
+	ccBytes  int64
+	teeBytes int64
+	requeued []*Request
+	fallback []*Request
+}
+
+// workerShard is the worker-local state of one scan lane: per-request CC
+// shard tables, per-tee staging buffers, and local budget bookkeeping. A
+// worker writes nothing outside its shard and its lane meter, so the scan is
+// race-free and every lane's final state is a pure function of its
+// partition.
+type workerShard struct {
+	ccs      []*cc.Table  // index-aligned with the batch's live requests
+	shed     []bool       // requests dropped by this worker (local budget overflow)
+	memBufs  [][]data.Row // per memTee: captured rows, partition order
+	memDrop  []bool       // memTees abandoned by this worker
+	fileBufs [][]byte     // per fileTee: encoded captured rows
+	fileRows []int64      // per fileTee: rows in fileBufs
+	err      error
+}
+
+// planParallel decides how many workers service the batch and, for server
+// batches, which server the partition cursors scan. It returns 1 whenever
+// the batch cannot or should not be partitioned: Workers <= 1, sources too
+// small to split, or the auxiliary keyset/TID-join access paths (§4.3.3),
+// which are inherently serial row streams.
+func (m *Middleware) planParallel(b *batch) (int, *engine.Server) {
+	w := m.cfg.Workers
+	if w <= 1 {
+		return 1, nil
+	}
+	switch b.kind {
+	case srcMemory:
+		if n := len(b.stage.mem); n < w {
+			w = n
+		}
+	case srcFile:
+		if n := b.stage.file.rows; n < int64(w) {
+			w = int(n)
+		}
+	case srcServer:
+		// Resolve the auxiliary structure up front (the sequential path does
+		// this at scan start; a structure built here is found and reused by
+		// maybeBuildAux if the batch ends up running sequentially).
+		aux := m.maybeBuildAux(b)
+		srv := m.srv
+		if aux != nil {
+			if aux.subSrv == nil {
+				return 1, nil // keyset / TID-join: sequential stream
+			}
+			srv = aux.subSrv
+		}
+		if np := srv.NumPages(); np < w {
+			w = np
+		}
+		if w < 2 {
+			return 1, nil
+		}
+		return w, srv
+	}
+	if w < 2 {
+		return 1, nil
+	}
+	return w, nil
+}
+
+// runScanParallel executes the batch's scan with nworkers goroutines over
+// disjoint partitions and merges the worker shards deterministically. budget
+// is the memory ceiling captured at scan start; each worker polices a
+// 1/nworkers slice of it mid-scan, and Step re-checks the merged totals
+// against the full budget afterwards.
+func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, psrv *engine.Server, nworkers int, budget int64) (*parallelScanResult, error) {
+	lanes := m.meter.Fork(nworkers)
+	slice := budget / int64(nworkers)
+	rowMemBytes := int64(m.schema.RowBytes()) + memRowOverhead
+
+	shards := make([]*workerShard, nworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		sh := &workerShard{
+			ccs:      make([]*cc.Table, len(live)),
+			shed:     make([]bool, len(live)),
+			memBufs:  make([][]data.Row, len(plan.memTees)),
+			memDrop:  make([]bool, len(plan.memTees)),
+			fileBufs: make([][]byte, len(plan.fileTees)),
+			fileRows: make([]int64, len(plan.fileTees)),
+		}
+		for i := range sh.ccs {
+			sh.ccs[i] = cc.New()
+		}
+		shards[w] = sh
+		wg.Add(1)
+		go func(part int, sh *workerShard, lane *sim.Meter) {
+			defer wg.Done()
+			sh.err = m.scanWorker(b, plan, live, psrv, part, nworkers, lane, sh, slice, rowMemBytes)
+		}(w, sh, lanes[w])
+	}
+	wg.Wait()
+	// The barrier: lanes fold back in fixed index order. Counters sum;
+	// the clock advances by the slowest lane.
+	m.meter.Join(lanes)
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+	}
+
+	res := &parallelScanResult{}
+
+	// A request shed by any worker lacks that partition's rows and cannot be
+	// completed this scan. Mirroring the sequential eviction semantics, shed
+	// requests re-queue for a later (smaller) batch while other requests
+	// survived, and fall back to server-side SQL only when nothing survived.
+	shedAny := make([]bool, len(live))
+	survivors := 0
+	for i := range live {
+		for _, sh := range shards {
+			if sh.shed[i] {
+				shedAny[i] = true
+				break
+			}
+		}
+		if !shedAny[i] {
+			survivors++
+		}
+	}
+
+	// Merge CC shards in partition order, charging the serial per-entry
+	// merge cost on the parent meter. Counting is commutative over disjoint
+	// partitions, so the merged tables are identical to a sequential scan's.
+	mergeCost := m.meter.Costs().MergeEntry
+	for i, wk := range live {
+		if shedAny[i] {
+			if survivors > 0 {
+				res.requeued = append(res.requeued, wk.req)
+			} else {
+				res.fallback = append(res.fallback, wk.req)
+			}
+			continue
+		}
+		merged := shards[0].ccs[i]
+		for _, sh := range shards[1:] {
+			t := sh.ccs[i]
+			m.meter.Charge(sim.CtrShardMergeEntries, mergeCost, int64(t.Entries()))
+			merged.Merge(t)
+		}
+		wk.cc = merged
+		res.live = append(res.live, wk)
+		res.ccBytes += merged.Bytes()
+	}
+
+	// Memory tees: a tee abandoned by any worker is dropped entirely (a
+	// partial capture is useless as staged data); survivors concatenate the
+	// worker buffers in partition order, which reproduces the sequential
+	// scan order exactly.
+	var kept []*teePlan
+	for j, t := range plan.memTees {
+		dropped := false
+		for _, sh := range shards {
+			if sh.memDrop[j] {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		var rows []data.Row
+		for _, sh := range shards {
+			rows = append(rows, sh.memBufs[j]...)
+		}
+		t.mem = rows
+		res.teeBytes += int64(len(rows)) * rowMemBytes
+		kept = append(kept, t)
+	}
+	plan.memTees = kept
+
+	// File tees: append the worker buffers to the real staging file in
+	// partition order. The per-row write costs were charged in the lanes;
+	// this is the physical concatenation only.
+	for k, t := range plan.fileTees {
+		for _, sh := range shards {
+			t.writer.writeEncoded(sh.fileBufs[k], sh.fileRows[k])
+		}
+	}
+	return res, nil
+}
+
+// scanWorker is the body of one scan lane: it drives partition part of
+// nparts through a worker-local version of the sequential process loop,
+// charging every operation to lane. Budget pressure is handled locally —
+// first by abandoning the worker's largest memory-tee buffer, then by
+// shedding the request with the largest local shard — because global
+// eviction would mutate shared middleware state mid-scan.
+func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, psrv *engine.Server, part, nparts int, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) error {
+	costs := lane.Costs()
+	var ccBytes, teeBytes int64
+
+	dropLargestMemBuf := func() bool {
+		li := -1
+		for j := range sh.memBufs {
+			if sh.memDrop[j] {
+				continue
+			}
+			if li < 0 || len(sh.memBufs[j]) > len(sh.memBufs[li]) {
+				li = j
+			}
+		}
+		if li < 0 {
+			return false
+		}
+		teeBytes -= int64(len(sh.memBufs[li])) * rowMemBytes
+		sh.memDrop[li] = true
+		sh.memBufs[li] = nil
+		return true
+	}
+	shedLargest := func() bool {
+		li := -1
+		for i := range sh.ccs {
+			if sh.shed[i] {
+				continue
+			}
+			if li < 0 || sh.ccs[i].Bytes() > sh.ccs[li].Bytes() {
+				li = i
+			}
+		}
+		if li < 0 {
+			return false
+		}
+		ccBytes -= sh.ccs[li].Bytes()
+		sh.shed[li] = true
+		sh.ccs[li] = cc.New()
+		return true
+	}
+
+	process := func(row data.Row) {
+		for i, wk := range live {
+			if sh.shed[i] || !wk.req.Path.Eval(row) {
+				continue
+			}
+			before := sh.ccs[i].Bytes()
+			sh.ccs[i].AddRow(row, wk.attrs)
+			ccBytes += sh.ccs[i].Bytes() - before
+			lane.Charge(sim.CtrCCUpdates, costs.CCUpdate, 1)
+		}
+		for ccBytes+teeBytes > slice {
+			if dropLargestMemBuf() {
+				continue
+			}
+			if !shedLargest() {
+				break
+			}
+		}
+		for k, t := range plan.fileTees {
+			if t.filter.Eval(row) {
+				sh.fileBufs[k] = row.Encode(sh.fileBufs[k])
+				sh.fileRows[k]++
+				lane.Charge(sim.CtrFileRowsWritten, costs.FileRowWrite, 1)
+			}
+		}
+		for j, t := range plan.memTees {
+			if sh.memDrop[j] {
+				continue
+			}
+			if t.filter.Eval(row) {
+				sh.memBufs[j] = append(sh.memBufs[j], row.Clone())
+				teeBytes += rowMemBytes
+			}
+		}
+	}
+	return m.scanPartition(b, psrv, part, nparts, lane, process)
+}
+
+// scanPartition drives every row of one partition of the batch's source
+// through process, charging all per-row costs to lane.
+func (m *Middleware) scanPartition(b *batch, psrv *engine.Server, part, nparts int, lane *sim.Meter, process func(data.Row)) error {
+	switch b.kind {
+	case srcMemory:
+		rows := b.stage.mem
+		lo := part * len(rows) / nparts
+		hi := (part + 1) * len(rows) / nparts
+		cost := lane.Costs().MemRowRead
+		for _, row := range rows[lo:hi] {
+			lane.Charge(sim.CtrMemRowsRead, cost, 1)
+			process(row)
+		}
+		return nil
+	case srcFile:
+		return m.files.scanPartition(b.stage.file, part, nparts, lane, func(row data.Row) error {
+			process(row)
+			return nil
+		})
+	case srcServer:
+		filter := batchFilter(b.reqs)
+		if m.cfg.NoFilterPushdown {
+			// Same ablation as the sequential path: every partition row is
+			// transmitted and filtered middleware-side.
+			filter = predicate.MatchAll()
+		}
+		cur := psrv.OpenScanPartition(filter, part, nparts, lane)
+		defer cur.Close()
+		for {
+			row, ok := cur.Next()
+			if !ok {
+				return nil
+			}
+			process(row)
+		}
+	}
+	return fmt.Errorf("mw: unknown source kind %d", b.kind)
+}

@@ -148,6 +148,20 @@ type Config struct {
 	// MaxBatch caps the number of nodes serviced per scan (0 = unlimited);
 	// the paper's memory budget normally provides the cap.
 	MaxBatch int
+	// Workers is the number of parallel scan workers per batch. 0 or 1 (the
+	// default) preserves the strictly sequential pipeline. With Workers > 1,
+	// Step splits each batched scan into disjoint partitions (page ranges at
+	// the server, row ranges for staged files and memory) processed by real
+	// goroutines. Each worker counts into private CC shard tables, captures
+	// staging rows into private buffers, spends a 1/Workers slice of the
+	// memory budget, and charges a forked lane meter; after the barrier the
+	// shards merge in partition order and the parent clock advances by the
+	// slowest lane (sim.Meter.Join), so results, staging contents and the
+	// virtual clock are bit-for-bit reproducible regardless of GOMAXPROCS or
+	// goroutine interleaving. Scans over the auxiliary keyset and TID-join
+	// structures (§4.3.3) are inherently serial row streams and fall back to
+	// one worker.
+	Workers int
 
 	// Ablation switches. Both default to off (= the paper's design) and
 	// exist for the ablation experiments that quantify each design choice.

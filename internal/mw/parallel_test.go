@@ -1,0 +1,194 @@
+package mw
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/predicate"
+)
+
+// countWhere counts dataset rows satisfying pred.
+func countWhere(ds *data.Dataset, pred func(data.Row) bool) int64 {
+	var n int64
+	for _, r := range ds.Rows {
+		if pred(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// driveTree runs a fixed three-level classification protocol against a fresh
+// middleware and returns a fingerprint of everything observable: every
+// fulfilled CC table, each result's source, the byte contents of the staging
+// files after every step and, when withMeter is set, the final counters and
+// virtual clock. Two runs that produce equal fingerprints behaved
+// identically as far as a client can tell.
+func driveTree(t *testing.T, cfg Config, rows int, withMeter bool) string {
+	t.Helper()
+	ds := randDataset(rows, 3)
+	dir := t.TempDir()
+	cfg.Dir = dir
+	m, _ := newMW(t, ds, cfg)
+
+	var sb strings.Builder
+	snapshotFiles := func() {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := fnv.New64a()
+			h.Write(b)
+			fmt.Fprintf(&sb, "file %s len=%d fnv=%x\n", name, len(b), h.Sum64())
+		}
+	}
+	step := func() int {
+		results, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].Req.NodeID < results[j].Req.NodeID })
+		for _, r := range results {
+			fmt.Fprintf(&sb, "node %d src=%s sql=%v rows=%d cc=%s\n",
+				r.Req.NodeID, r.Source, r.ViaSQL, r.CC.Rows(), r.CC.String())
+		}
+		snapshotFiles()
+		return len(results)
+	}
+	drain := func() {
+		for m.Pending() > 0 {
+			if step() == 0 {
+				t.Fatal("pending requests but Step produced no results")
+			}
+		}
+	}
+
+	if err := m.Enqueue(rootRequest(ds)); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+
+	// Split the root on attribute 0 (cardinality 3).
+	for v := 0; v < 3; v++ {
+		val := data.Value(v)
+		err := m.Enqueue(&Request{
+			NodeID: 1 + v, ParentID: 0,
+			Path:  predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: val}},
+			Attrs: []int{1, 2, 3},
+			Rows:  countWhere(ds, func(r data.Row) bool { return r[0] == val }),
+			EstCC: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.CloseNode(0)
+	drain()
+
+	// Split node 1 on attribute 1; leave nodes 2 and 3 as leaves.
+	for v := 0; v < 3; v++ {
+		val := data.Value(v)
+		err := m.Enqueue(&Request{
+			NodeID: 4 + v, ParentID: 1,
+			Path: predicate.Conj{
+				{Attr: 0, Op: predicate.Eq, Val: 0},
+				{Attr: 1, Op: predicate.Eq, Val: val},
+			},
+			Attrs: []int{2, 3},
+			Rows:  countWhere(ds, func(r data.Row) bool { return r[0] == 0 && r[1] == val }),
+			EstCC: 25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 1; id <= 3; id++ {
+		m.CloseNode(id)
+	}
+	drain()
+	for id := 4; id <= 6; id++ {
+		m.CloseNode(id)
+	}
+
+	if withMeter {
+		fmt.Fprintf(&sb, "clock %d\nmeter %s\n", m.Meter().Now(), m.Meter().String())
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSequential: for every staging mode, the CC tables,
+// result sources and staged-file contents produced with Workers ∈ {2, 4} are
+// byte-identical to the sequential run. (The virtual clock legitimately
+// differs — parallelism is the point — so the meter is excluded here and
+// covered by TestParallelDeterministicAcrossRuns.)
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, mode := range []StagingMode{StageNone, StageFileOnly, StageMemoryOnly, StageFileAndMemory} {
+		want := driveTree(t, Config{Staging: mode, Workers: 1}, 2000, false)
+		for _, w := range []int{2, 4} {
+			got := driveTree(t, Config{Staging: mode, Workers: w}, 2000, false)
+			if got != want {
+				t.Errorf("staging=%v workers=%d: output differs from sequential\n got:\n%s\nwant:\n%s",
+					mode, w, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicAcrossRuns: with Workers=4 the complete run —
+// including every counter and the virtual clock — is bit-for-bit
+// reproducible across repeated runs and across GOMAXPROCS settings, i.e.
+// goroutine interleaving never leaks into the simulation.
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Staging: StageFileAndMemory, Workers: 4}
+	var prints []string
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		old := runtime.GOMAXPROCS(procs)
+		prints = append(prints, driveTree(t, cfg, 2000, true), driveTree(t, cfg, 2000, true))
+		runtime.GOMAXPROCS(old)
+	}
+	for i := 1; i < len(prints); i++ {
+		if prints[i] != prints[0] {
+			t.Fatalf("run %d differs from run 0:\n got:\n%s\nwant:\n%s", i, prints[i], prints[0])
+		}
+	}
+}
+
+// TestParallelImprovesVirtualTime: on a server-scan batch the parallel cost
+// model must pay off — four lanes over disjoint page ranges finish the root
+// scan in strictly less virtual time than the sequential cursor.
+func TestParallelImprovesVirtualTime(t *testing.T) {
+	elapsed := func(workers int) time.Duration {
+		ds := randDataset(8000, 3)
+		m, _ := newMW(t, ds, Config{Staging: StageNone, Workers: workers})
+		if err := m.Enqueue(rootRequest(ds)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		m.CloseNode(0)
+		return m.Meter().Now()
+	}
+	seq, par := elapsed(1), elapsed(4)
+	if par >= seq {
+		t.Errorf("workers=4 virtual time %v not below workers=1 %v", par, seq)
+	}
+}

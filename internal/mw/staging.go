@@ -152,33 +152,63 @@ func (fw *fileWriter) Abort() {
 	os.Remove(fw.sf.path)
 }
 
+// writeEncoded appends pre-encoded rows collected by a scan worker. The
+// per-row write costs were already charged to the worker's lane meter, so
+// this is purely the physical append.
+func (fw *fileWriter) writeEncoded(buf []byte, rows int64) {
+	if fw.err != nil || len(buf) == 0 {
+		return
+	}
+	if _, err := fw.w.Write(buf); err != nil {
+		fw.err = err
+		return
+	}
+	fw.sf.rows += rows
+	fw.sf.bytes += int64(len(buf))
+}
+
 // scan reads every row of the file in order, charging the per-row file read
-// cost, and calls fn. fn must not retain the row.
+// cost to the store's meter, and calls fn. fn must not retain the row.
 func (fs *fileStore) scan(sf *stageFile, fn func(data.Row) error) error {
+	return fs.scanPartition(sf, 0, 1, fs.meter, fn)
+}
+
+// scanPartition reads one contiguous row range of the file — partition part
+// of nparts — charging the per-row file read cost to meter. The ranges for
+// parts 0..nparts-1 tile the file exactly, in order.
+func (fs *fileStore) scanPartition(sf *stageFile, part, nparts int, meter *sim.Meter, fn func(data.Row) error) error {
+	lo := int64(part) * sf.rows / int64(nparts)
+	hi := int64(part+1) * sf.rows / int64(nparts)
+	if lo >= hi {
+		return nil
+	}
 	f, err := os.Open(sf.path)
 	if err != nil {
 		return fmt.Errorf("mw: open staging file: %w", err)
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
 	rb := fs.schema.RowBytes()
+	if lo > 0 {
+		if _, err := f.Seek(lo*int64(rb), io.SeekStart); err != nil {
+			return fmt.Errorf("mw: seek staging file: %w", err)
+		}
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
 	ncols := fs.schema.NumCols()
 	buf := make([]byte, rb)
 	var row data.Row
-	cost := fs.meter.Costs().FileRowRead
-	for {
+	cost := meter.Costs().FileRowRead
+	for n := lo; n < hi; n++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
-			if err == io.EOF {
-				return nil
-			}
 			return fmt.Errorf("mw: read staging file: %w", err)
 		}
 		row = data.DecodeRow(buf, ncols, row)
-		fs.meter.Charge(sim.CtrFileRowsRead, cost, 1)
+		meter.Charge(sim.CtrFileRowsRead, cost, 1)
 		if err := fn(row); err != nil {
 			return err
 		}
 	}
+	return nil
 }
 
 // remove deletes a staging file and returns its space to the budget.

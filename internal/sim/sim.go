@@ -46,6 +46,7 @@ type Costs struct {
 	FileOpen     int64 // create/open one middleware staging file
 	MemRowRead   int64 // touch one row staged in middleware memory
 	CCUpdate     int64 // update the counts (CC) table for one (row, node) pair
+	MergeEntry   int64 // fold one worker-shard CC entry into the merged node table
 
 	// Client-side costs.
 	ClientRowLoad int64 // materialize one extracted row at the client (ExtractAll baseline)
@@ -81,6 +82,7 @@ func DefaultCosts() Costs {
 		FileOpen:     1_000_000, // 1 ms
 		MemRowRead:   150,
 		CCUpdate:     60, // per (row, attribute-set, node) counting step, charged per row per node
+		MergeEntry:   80, // per shard entry: one treap lookup/insert plus a count add
 
 		ClientRowLoad: 500,
 	}
@@ -107,6 +109,7 @@ const (
 	CtrClientRows                     // rows materialized at the client
 	CtrBatches                        // middleware scheduling batches executed
 	CtrSQLFallbacks                   // nodes serviced by the SQL fallback path
+	CtrShardMergeEntries              // CC shard entries folded into merged node tables
 	numCounters
 )
 
@@ -125,8 +128,9 @@ var counterNames = [...]string{
 	CtrMemRowsRead:     "mem_rows_read",
 	CtrCCUpdates:       "cc_updates",
 	CtrClientRows:      "client_rows_loaded",
-	CtrBatches:         "mw_batches",
-	CtrSQLFallbacks:    "sql_fallbacks",
+	CtrBatches:           "mw_batches",
+	CtrSQLFallbacks:      "sql_fallbacks",
+	CtrShardMergeEntries: "shard_merge_entries",
 }
 
 // String returns the snake_case name of the counter.
@@ -139,9 +143,11 @@ func (c Counter) String() string {
 
 // Meter is a virtual clock plus operation counters. The zero value is not
 // ready for use; construct one with NewMeter. A Meter is not safe for
-// concurrent use: the simulated systems in this repository are
-// single-threaded by design, mirroring the paper's single middleware
-// execution module.
+// concurrent use: every simulated thread of control charges its own Meter.
+// The single-threaded systems in this repository use one Meter throughout;
+// the parallel scan pipeline gives each worker goroutine a private lane
+// meter (Fork) and deterministically folds the lanes back (Join), so no
+// Meter is ever shared between goroutines.
 type Meter struct {
 	costs  Costs
 	now    int64 // virtual nanoseconds since start
@@ -181,6 +187,45 @@ func (m *Meter) Charge(c Counter, unitCost int64, n int64) {
 
 // Count returns the current value of a counter.
 func (m *Meter) Count(c Counter) int64 { return m.counts[c] }
+
+// Fork returns n child meters ("lanes") sharing the parent's cost table,
+// each with a zeroed clock and zeroed counters. Each lane models one worker
+// of a parallel scan: the worker charges all of its simulated work into its
+// own lane, so goroutine scheduling on the host can never affect any meter.
+// The parent must not be charged between Fork and the matching Join, and
+// each lane must be used by exactly one goroutine.
+func (m *Meter) Fork(n int) []*Meter {
+	if n < 1 {
+		panic("sim: Fork needs at least one lane")
+	}
+	lanes := make([]*Meter, n)
+	for i := range lanes {
+		lanes[i] = NewMeter(m.costs)
+	}
+	return lanes
+}
+
+// Join folds forked lanes back into the parent. Counters sum — the total
+// work performed is conserved — but the clock advances by max(lane elapsed):
+// the lanes ran concurrently, so the batch takes as long as its slowest
+// worker. This models the paper's multi-CPU middleware host deterministically:
+// each lane's final state is a pure function of its data partition, so the
+// joined clock is bit-for-bit reproducible regardless of GOMAXPROCS or
+// goroutine interleaving. Post-barrier work that is inherently serial (e.g.
+// folding CC shards into the merged table, Costs.MergeEntry per entry) is
+// charged by the caller on the parent after Join.
+func (m *Meter) Join(lanes []*Meter) {
+	var max int64
+	for _, l := range lanes {
+		for i := range l.counts {
+			m.counts[i] += l.counts[i]
+		}
+		if l.now > max {
+			max = l.now
+		}
+	}
+	m.now += max
+}
 
 // Reset zeroes the clock and all counters, keeping the cost model.
 func (m *Meter) Reset() {

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, tests, and the race detector (the parallel
+# scan pipeline fans out real goroutines, so -race is part of the gate).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race -short ./..."
+# -short skips the full-scale experiment suites (internal/exp), which exceed
+# the test timeout under the race detector; all goroutine-spawning code
+# (internal/mw parallel scans, internal/exp tiny-scale scaling run) still
+# executes under -race.
+go test -race -short ./...
+echo "verify: all green"
