@@ -39,7 +39,7 @@ func runFigure(b *testing.B, id string) {
 	scale := benchScale()
 	var vt float64
 	for i := 0; i < b.N; i++ {
-		e, err := r.Run(scale)
+		e, err := r.Run(nil, scale)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mw"
 	"repro/internal/nb"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -56,6 +57,10 @@ func run() error {
 		policy  = flag.String("policy", "split", "file policy: split, pernode or singleton")
 		memory  = flag.Float64("memory", 0, "middleware memory budget in MB (0 = unlimited)")
 		workers = flag.Int("workers", 1, "parallel scan workers per batch (1 = sequential)")
+
+		traceOut    = flag.String("trace", "", "write a deterministic virtual-time trace of the build to this file")
+		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or ndjson")
+		metricsOut  = flag.String("metrics", "", "write per-batch metrics and counter timelines (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -108,6 +113,15 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown file policy %q", *policy)
 	}
+	// Observability attaches to the engine and middleware before the build and
+	// observes the meter without charging it: traces and metrics never change
+	// the simulated cost or the model.
+	col := obs.NewCollector(*traceOut != "", *metricsOut != "")
+	if col != nil {
+		tr, pm := col.Proc("classify", meter)
+		eng.SetTracer(tr)
+		mcfg.Metrics = pm
+	}
 	m, err := mw.New(srv, mcfg)
 	if err != nil {
 		return err
@@ -126,7 +140,7 @@ func run() error {
 		}
 		fmt.Printf("simulated cost: %v\n", meter.Now())
 		fmt.Printf("counters: %v\n", meter)
-		return nil
+		return writeObs(col, *traceOut, *traceFormat, *metricsOut)
 	}
 
 	opt := dtree.Options{MaxDepth: *maxDepth, MinRows: *minRows}
@@ -211,6 +225,45 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	return writeObs(col, *traceOut, *traceFormat, *metricsOut)
+}
+
+// writeObs writes the requested trace and metrics files; nil col is a no-op.
+func writeObs(col *obs.Collector, tracePath, traceFormat, metricsPath string) error {
+	if col == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteTrace(f, traceFormat); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s (%s; load chrome format at https://ui.perfetto.dev)\n", tracePath, traceFormat)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if s := col.Summary(); s != "" {
+			fmt.Print(s)
+		}
+		fmt.Printf("wrote metrics %s\n", metricsPath)
 	}
 	return nil
 }

@@ -15,12 +15,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
+
+// writeFile creates path and streams fn's output into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
@@ -30,7 +45,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	check := flag.Bool("check", false, "validate each figure's shape against the paper's claim; exit nonzero on failure")
 	parallel := flag.Int("parallel", 1, "run up to this many experiments concurrently (each is internally deterministic)")
+	traceOut := flag.String("trace", "", "write a deterministic virtual-time trace of every tree build to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or ndjson")
+	metricsOut := flag.String("metrics", "", "write per-batch metrics and counter timelines (JSON) to this file")
 	flag.Parse()
+
+	// Observability registers one proc per tree build in registration order;
+	// run experiments sequentially so the trace is deterministic.
+	col := obs.NewCollector(*traceOut != "", *metricsOut != "")
+	if col != nil && *parallel != 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -trace/-metrics force -parallel=1 for deterministic output")
+		*parallel = 1
+	}
 
 	if *list {
 		for _, r := range exp.Runners() {
@@ -67,7 +93,11 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			e, err := r.Run(*scale)
+			var env *exp.Env
+			if col != nil {
+				env = &exp.Env{Obs: col, Label: r.ID}
+			}
+			e, err := r.Run(env, *scale)
 			outcomes[i] = outcome{e, err}
 		}(i, r)
 	}
@@ -110,6 +140,23 @@ func main() {
 			os.Exit(1)
 		}
 	}()
+
+	if col != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, func(w io.Writer) error { return col.WriteTrace(w, *traceFormat) }); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote trace %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := writeFile(*metricsOut, col.WriteMetrics); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote metrics %s\n", *metricsOut)
+		}
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/data"
 	"repro/internal/mw"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 )
 
@@ -21,6 +22,57 @@ func Build(m *mw.Middleware, opt Options) (*Tree, error) {
 	classCard := schema.Class.Card
 	classIdx := schema.ClassIndex()
 
+	// Client-side spans: one for the whole build, plus one per tree level on
+	// a separate render track. Levels overlap in virtual time (children are
+	// enqueued before their parent closes), so each level span ends at the
+	// time its last node closed, fixed up when the build finishes. All of it
+	// is skipped — at zero cost — when no tracer is attached.
+	tr := m.Tracer()
+	bsp := tr.Start(obs.CatBuild, "dtree-build")
+	defer bsp.End()
+	type levelSpan struct {
+		sp     *obs.Span
+		lastNS int64
+	}
+	var ltr *obs.Tracer
+	var levels map[int]*levelSpan
+	if tr != nil {
+		ltr = tr.Track("levels")
+		levels = map[int]*levelSpan{}
+		defer func() {
+			depths := make([]int, 0, len(levels))
+			for d := range levels {
+				depths = append(depths, d)
+			}
+			sort.Ints(depths)
+			for _, d := range depths {
+				l := levels[d]
+				if l.lastNS > 0 {
+					l.sp.EndAt(l.lastNS)
+				} else {
+					l.sp.End()
+				}
+			}
+		}()
+	}
+	noteEnqueue := func(depth int) {
+		if ltr == nil {
+			return
+		}
+		if _, ok := levels[depth]; !ok {
+			sp := ltr.Start(obs.CatLevel, fmt.Sprintf("level %d", depth)).Attr("depth", int64(depth))
+			levels[depth] = &levelSpan{sp: sp}
+		}
+	}
+	noteClose := func(depth int) {
+		if ltr == nil {
+			return
+		}
+		if l, ok := levels[depth]; ok {
+			l.lastNS = int64(m.Meter().Now())
+		}
+	}
+
 	rootAttrs := allAttrs(schema)
 	root := &Node{ID: 0, Attrs: rootAttrs, Rows: m.DataRows(), Depth: 0}
 	nodes := map[int]*Node{0: root}
@@ -33,6 +85,7 @@ func Build(m *mw.Middleware, opt Options) (*Tree, error) {
 		rootEst += int64(a.Card)
 	}
 	rootEst = rootEst*int64(classCard) + int64(classCard)
+	noteEnqueue(0)
 	if err := m.Enqueue(&mw.Request{
 		NodeID: 0, ParentID: -1, Path: nil,
 		Attrs: rootAttrs, Rows: root.Rows, EstCC: rootEst,
@@ -60,6 +113,7 @@ func Build(m *mw.Middleware, opt Options) (*Tree, error) {
 			if dec.leaf {
 				n.Leaf = true
 				m.CloseNode(n.ID)
+				noteClose(n.Depth)
 				continue
 			}
 			n.SplitAttr = dec.attr
@@ -89,6 +143,7 @@ func Build(m *mw.Middleware, opt Options) (*Tree, error) {
 					continue
 				}
 				est := cc.EstimateEntries(res.CC, child.Attrs, child.Rows, n.Rows, classCard)
+				noteEnqueue(child.Depth)
 				if err := m.Enqueue(&mw.Request{
 					NodeID: child.ID, ParentID: n.ID,
 					Path: child.Path, Attrs: child.Attrs,
@@ -100,6 +155,7 @@ func Build(m *mw.Middleware, opt Options) (*Tree, error) {
 			// Children are enqueued before the parent closes so ancestor
 			// staging stays alive for them.
 			m.CloseNode(n.ID)
+			noteClose(n.Depth)
 		}
 	}
 	return finalize(&Tree{Root: root, Schema: schema}), nil

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -76,6 +77,7 @@ type Engine struct {
 	bp     *storage.BufferPool
 	tables map[string]*Table
 	tmpSeq int
+	tracer *obs.Tracer
 }
 
 // New creates an engine with the given meter and buffer-pool capacity in
@@ -93,6 +95,14 @@ func New(meter *sim.Meter, bufferPages int) *Engine {
 
 // Meter returns the engine's meter.
 func (e *Engine) Meter() *sim.Meter { return e.meter }
+
+// SetTracer attaches an observability tracer clocked by the engine's meter.
+// Spans open around SQL statements, cursor scans and aux-structure builds;
+// a nil tracer (the default) disables all of it at zero allocation cost.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // CreateTable creates an empty table with the given integer columns.
 func (e *Engine) CreateTable(name string, cols []string) (*Table, error) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
@@ -89,6 +90,16 @@ func (rs *ResultSet) String() string {
 // Exec parses and executes one SQL statement, charging the per-statement
 // QueryStartup cost. DDL and DML statements return a nil result set.
 func (e *Engine) Exec(sql string) (*ResultSet, error) {
+	sp := e.tracer.Start(obs.CatSQL, "sql").AttrStr("stmt", obs.Truncate(sql, 120))
+	rs, err := e.execStmt(sql)
+	if rs != nil {
+		sp.SetRows(int64(len(rs.Rows)))
+	}
+	sp.End()
+	return rs, err
+}
+
+func (e *Engine) execStmt(sql string) (*ResultSet, error) {
 	st, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err

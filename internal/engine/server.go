@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -43,6 +44,9 @@ func (s *Server) Engine() *Engine { return s.eng }
 // Meter returns the server's meter.
 func (s *Server) Meter() *sim.Meter { return s.meter }
 
+// Tracer returns the engine's observability tracer (nil when disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.eng.tracer }
+
 // Schema returns the classification schema of the data table.
 func (s *Server) Schema() *data.Schema { return s.schema }
 
@@ -78,13 +82,23 @@ type scanCursor struct {
 	slot   uint16
 	row    data.Row
 	closed bool
+	sp     *obs.Span
+	rows   int64
 }
 
 // OpenScan initiates a cursor scan of the data table with the filter pushed
 // down, charging the cursor-open cost.
 func (s *Server) OpenScan(f predicate.Filter) Cursor {
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
-	return &scanCursor{s: s, filter: f}
+	return &scanCursor{s: s, filter: f, sp: s.eng.tracer.Start(obs.CatCursor, "server-scan")}
+}
+
+// finish closes the cursor span once, recording the rows transmitted.
+func (c *scanCursor) finish() {
+	if c.sp != nil {
+		c.sp.SetRows(c.rows).End()
+		c.sp = nil
+	}
 }
 
 func (c *scanCursor) Next() (data.Row, bool) {
@@ -110,13 +124,18 @@ func (c *scanCursor) Next() (data.Row, bool) {
 		c.s.meter.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
 		if c.filter.Eval(c.row) {
 			c.s.meter.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+			c.rows++
 			return c.row, true
 		}
 	}
+	c.finish()
 	return nil, false
 }
 
-func (c *scanCursor) Close() { c.closed = true }
+func (c *scanCursor) Close() {
+	c.closed = true
+	c.finish()
+}
 
 // OpenScanPartition initiates a cursor scan over one horizontal partition of
 // the data table: partition part of nparts, formed by splitting the heap
@@ -210,6 +229,7 @@ type Keyset struct {
 // OpenKeyset runs the qualifying scan and captures the keyset. The scan
 // charges full sequential-scan costs but transmits nothing.
 func (s *Server) OpenKeyset(f predicate.Filter) *Keyset {
+	sp := s.eng.tracer.Start(obs.CatAux, "keyset-build")
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
 	ks := &Keyset{s: s}
 	s.eng.scan(s.table, func(tid storage.TID, row data.Row) bool {
@@ -218,6 +238,7 @@ func (s *Server) OpenKeyset(f predicate.Filter) *Keyset {
 		}
 		return true
 	})
+	sp.SetRows(int64(len(ks.tids))).End()
 	return ks
 }
 
@@ -234,13 +255,22 @@ type keysetCursor struct {
 	i      int
 	row    data.Row
 	closed bool
+	sp     *obs.Span
+	rows   int64
 }
 
 // OpenScan re-scans the keyset, optionally filtering server-side with the
 // stored procedure sproc.
 func (k *Keyset) OpenScan(sproc *predicate.Filter) Cursor {
 	k.s.meter.Charge(sim.CtrServerScans, k.s.meter.Costs().CursorOpen, 1)
-	return &keysetCursor{k: k, sproc: sproc}
+	return &keysetCursor{k: k, sproc: sproc, sp: k.s.eng.tracer.Start(obs.CatCursor, "keyset-scan")}
+}
+
+func (c *keysetCursor) finish() {
+	if c.sp != nil {
+		c.sp.SetRows(c.rows).End()
+		c.sp = nil
+	}
 }
 
 func (c *keysetCursor) Next() (data.Row, bool) {
@@ -266,12 +296,17 @@ func (c *keysetCursor) Next() (data.Row, bool) {
 			}
 		}
 		s.meter.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+		c.rows++
 		return row, true
 	}
+	c.finish()
 	return nil, false
 }
 
-func (c *keysetCursor) Close() { c.closed = true }
+func (c *keysetCursor) Close() {
+	c.closed = true
+	c.finish()
+}
 
 // CopySubset copies the rows satisfying f into a new server-side temp table
 // (§4.3.3a) and returns a Server view over it. Charges a full scan plus one
@@ -283,6 +318,8 @@ func (s *Server) CopySubset(f predicate.Filter) (*Server, error) {
 		return nil, err
 	}
 	t.temp = true
+	sp := s.eng.tracer.Start(obs.CatAux, "copy-subset")
+	defer func() { sp.SetRows(t.NumRows()).End() }()
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
 	costs := s.meter.Costs()
 	var copyErr error
@@ -317,6 +354,7 @@ type TIDTable struct {
 // CopyTIDs captures the TIDs of rows satisfying f into a server-side TID
 // table: one qualifying scan plus one row-write per TID.
 func (s *Server) CopyTIDs(f predicate.Filter) *TIDTable {
+	sp := s.eng.tracer.Start(obs.CatAux, "tid-table-build")
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
 	tt := &TIDTable{s: s}
 	costs := s.meter.Costs()
@@ -327,6 +365,7 @@ func (s *Server) CopyTIDs(f predicate.Filter) *TIDTable {
 		}
 		return true
 	})
+	sp.SetRows(int64(len(tt.tids))).End()
 	return tt
 }
 
@@ -341,12 +380,21 @@ type tidJoinCursor struct {
 	i      int
 	row    data.Row
 	closed bool
+	sp     *obs.Span
+	rows   int64
 }
 
 // OpenJoin retrieves the subset via a TID join, applying filter server-side.
 func (t *TIDTable) OpenJoin(filter predicate.Filter) Cursor {
 	t.s.meter.Charge(sim.CtrServerScans, t.s.meter.Costs().CursorOpen, 1)
-	return &tidJoinCursor{t: t, filter: filter}
+	return &tidJoinCursor{t: t, filter: filter, sp: t.s.eng.tracer.Start(obs.CatCursor, "tid-join-scan")}
+}
+
+func (c *tidJoinCursor) finish() {
+	if c.sp != nil {
+		c.sp.SetRows(c.rows).End()
+		c.sp = nil
+	}
 }
 
 func (c *tidJoinCursor) Next() (data.Row, bool) {
@@ -369,12 +417,17 @@ func (c *tidJoinCursor) Next() (data.Row, bool) {
 			continue
 		}
 		s.meter.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+		c.rows++
 		return row, true
 	}
+	c.finish()
 	return nil, false
 }
 
-func (c *tidJoinCursor) Close() { c.closed = true }
+func (c *tidJoinCursor) Close() {
+	c.closed = true
+	c.finish()
+}
 
 // heapRecord returns the raw record at (page, slot) if it exists. It peeks
 // directly into the heap (metering is the cursor's responsibility).

@@ -14,7 +14,7 @@ import (
 // AblationFilterPushdown measures §4.3.1's filter expressions: with the
 // ablation every scan ships the entire table, so cost stops tracking the
 // shrinking active set.
-func AblationFilterPushdown(scale float64) (*Experiment, error) {
+func AblationFilterPushdown(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "abl-pushdown",
 		Title:  "Ablation: filter expressions pushed into the server WHERE clause",
@@ -30,11 +30,11 @@ func AblationFilterPushdown(scale float64) (*Experiment, error) {
 			return nil, err
 		}
 		x := float64(ds.N())
-		on, err := BuildTree(ds, mw.Config{Staging: mw.StageNone}, dtree.Options{})
+		on, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		off, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, NoFilterPushdown: true}, dtree.Options{})
+		off, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, NoFilterPushdown: true}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +47,7 @@ func AblationFilterPushdown(scale float64) (*Experiment, error) {
 // AblationBatching measures §4.1.1's multi-node single-scan counting: with a
 // batch size of one, every active node costs its own scan, which is the
 // regime the per-node SQL strawman also suffers from.
-func AblationBatching(scale float64) (*Experiment, error) {
+func AblationBatching(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "abl-batching",
 		Title:  "Ablation: batching multiple nodes into one scan",
@@ -63,11 +63,11 @@ func AblationBatching(scale float64) (*Experiment, error) {
 			return nil, err
 		}
 		x := float64(ds.N())
-		on, err := BuildTree(ds, mw.Config{Staging: mw.StageNone}, dtree.Options{})
+		on, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		off, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, MaxBatch: 1}, dtree.Options{})
+		off, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, MaxBatch: 1}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +82,7 @@ func AblationBatching(scale float64) (*Experiment, error) {
 // paper adopts Rule 3 "for simplicity", not as a performance claim, and the
 // measurement confirms the choice is about determinism and maximal packing
 // rather than speed: both orders land within a few percent.
-func AblationRule3(scale float64) (*Experiment, error) {
+func AblationRule3(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "abl-rule3",
 		Title:  "Ablation: Rule 3 (admit smallest estimated counts tables first)",
@@ -104,11 +104,11 @@ func AblationRule3(scale float64) (*Experiment, error) {
 	}
 	opt := dtree.Options{}
 	for _, kb := range []int64{24, 48, 96, 192} {
-		on, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: kb << 10}, opt)
+		on, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: kb << 10}, opt)
 		if err != nil {
 			return nil, err
 		}
-		off, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: kb << 10, FIFOScheduling: true}, opt)
+		off, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: kb << 10, FIFOScheduling: true}, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -20,8 +20,34 @@ import (
 	"repro/internal/dtree"
 	"repro/internal/engine"
 	"repro/internal/mw"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// Env carries per-run observability context into the runners. A nil *Env (or
+// an Env with a nil Collector) is fully supported and means "no
+// instrumentation": every hook below degrades to a no-op, so batch runs and
+// tests pay nothing. Obs wiring never perturbs measured results — spans and
+// metrics observe the meter, they do not charge it.
+type Env struct {
+	Obs   *obs.Collector
+	Label string // proc label prefix for traces/metrics, e.g. the figure id
+}
+
+// attach registers one tree build with the collector: a tracer on the engine
+// and a metrics observer on the middleware config. Safe on a nil receiver.
+func (e *Env) attach(meter *sim.Meter, eng *engine.Engine, mcfg *mw.Config) {
+	if e == nil || e.Obs == nil {
+		return
+	}
+	label := e.Label
+	if label == "" {
+		label = "build"
+	}
+	tr, pm := e.Obs.Proc(label, meter)
+	eng.SetTracer(tr)
+	mcfg.Metrics = pm
+}
 
 // Point is one measurement: x-value, virtual seconds, and selected counters.
 type Point struct {
@@ -164,13 +190,14 @@ func countersOf(m *sim.Meter) map[string]int64 {
 // BuildTree loads ds into a fresh simulated server, grows a tree through a
 // middleware with the given config, and returns the virtual-time cost of the
 // build (loading is unmetered).
-func BuildTree(ds *data.Dataset, mcfg mw.Config, opt dtree.Options) (BuildStats, error) {
+func BuildTree(env *Env, ds *data.Dataset, mcfg mw.Config, opt dtree.Options) (BuildStats, error) {
 	meter := sim.NewDefaultMeter()
 	eng := engine.New(meter, 0)
 	srv, err := engine.NewServer(eng, "cases", ds)
 	if err != nil {
 		return BuildStats{}, err
 	}
+	env.attach(meter, eng, &mcfg)
 	m, err := mw.New(srv, mcfg)
 	if err != nil {
 		return BuildStats{}, err
@@ -198,7 +225,7 @@ func NewServer(ds *data.Dataset) (*engine.Server, error) {
 // Registry lists every experiment runner by figure id.
 type Runner struct {
 	ID    string
-	Run   func(scale float64) (*Experiment, error)
+	Run   func(env *Env, scale float64) (*Experiment, error)
 	Notes string
 }
 
@@ -225,11 +252,11 @@ func Runners() []Runner {
 	}
 }
 
-// RunAll executes every experiment at the given scale.
-func RunAll(scale float64) ([]*Experiment, error) {
+// RunAll executes every experiment at the given scale. env may be nil.
+func RunAll(env *Env, scale float64) ([]*Experiment, error) {
 	var out []*Experiment
 	for _, r := range Runners() {
-		e, err := r.Run(scale)
+		e, err := r.Run(env, scale)
 		if err != nil {
 			return nil, fmt.Errorf("exp %s: %w", r.ID, err)
 		}

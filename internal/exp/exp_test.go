@@ -11,7 +11,7 @@ func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments take a few seconds")
 	}
-	exps, err := RunAll(0.4)
+	exps, err := RunAll(nil, 0.4)
 	if err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -48,7 +48,7 @@ func TestPaperShapes(t *testing.T) {
 		t.Skip("experiments take a few seconds")
 	}
 	t.Run("fig4-caching-beats-none-at-high-memory", func(t *testing.T) {
-		e, err := Fig4MemorySweep(0.4)
+		e, err := Fig4MemorySweep(nil, 0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +66,7 @@ func TestPaperShapes(t *testing.T) {
 		}
 	})
 	t.Run("fig5a-less-memory-more-time", func(t *testing.T) {
-		e, err := Fig5aLimitedCCMemory(0.4)
+		e, err := Fig5aLimitedCCMemory(nil, 0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestPaperShapes(t *testing.T) {
 		}
 	})
 	t.Run("fig7-sql-counting-loses", func(t *testing.T) {
-		e, err := Fig7SQLCounting(0.4)
+		e, err := Fig7SQLCounting(nil, 0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func TestPaperShapes(t *testing.T) {
 		}
 	})
 	t.Run("sec5.2.5-indexes-do-not-help", func(t *testing.T) {
-		e, err := IndexScans(0.4)
+		e, err := IndexScans(nil, 0.4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func TestSensitivityOrderingsHold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments take a few seconds")
 	}
-	e, err := Sensitivity(0.4)
+	e, err := Sensitivity(nil, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +140,11 @@ func TestExperimentsDeterministic(t *testing.T) {
 		if !ok {
 			t.Fatalf("unknown id %s", id)
 		}
-		a, err := r.Run(0.3)
+		a, err := r.Run(nil, 0.3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := r.Run(0.3)
+		b, err := r.Run(nil, 0.3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func TestExperimentsDeterministic(t *testing.T) {
 // exercises the exp → mw multi-worker path; the runner itself errors if any
 // worker count grows a different tree.
 func TestScalingWorkersTiny(t *testing.T) {
-	e, err := ScalingWorkers(0.05)
+	e, err := ScalingWorkers(nil, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestAllShapeChecksPass(t *testing.T) {
 			t.Errorf("%s: no shape check registered", r.ID)
 			continue
 		}
-		e, err := r.Run(1.0) // the calibrated scale of EXPERIMENTS.md
+		e, err := r.Run(nil, 1.0) // the calibrated scale of EXPERIMENTS.md
 		if err != nil {
 			t.Fatalf("%s: %v", r.ID, err)
 		}

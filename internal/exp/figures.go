@@ -48,7 +48,7 @@ const mb = 1 << 20
 // as memory grows and flatten once (caching) the whole data set is loaded on
 // the first scan or (no caching) a full frontier of count tables fits in one
 // scan; caching dominates at every memory size where the data fits.
-func Fig4MemorySweep(scale float64) (*Experiment, error) {
+func Fig4MemorySweep(env *Env, scale float64) (*Experiment, error) {
 	ds, err := fig45Data(scale, 100, 41)
 	if err != nil {
 		return nil, err
@@ -67,11 +67,11 @@ func Fig4MemorySweep(scale float64) (*Experiment, error) {
 	for _, f := range fractions {
 		memBytes := int64(f * float64(bytes))
 		x := float64(memBytes) / mb
-		withC, err := BuildTree(ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: memBytes}, dtree.Options{})
+		withC, err := BuildTree(env, ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: memBytes}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		noC, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: memBytes}, dtree.Options{})
+		noC, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: memBytes}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +85,7 @@ func Fig4MemorySweep(scale float64) (*Experiment, error) {
 // memory levels, with and without caching. Time grows with data size in all
 // configurations; low-memory/no-caching grows fastest, caching with enough
 // memory stays cheapest.
-func Fig4DataSize(scale float64) (*Experiment, error) {
+func Fig4DataSize(env *Env, scale float64) (*Experiment, error) {
 	casesSweep := []int{40, 80, 160, 320}
 	// Memory levels chosen relative to the largest data set, mirroring the
 	// paper's 5 MB / 20 MB against data up to ~60 MB.
@@ -120,7 +120,7 @@ func Fig4DataSize(scale float64) (*Experiment, error) {
 			{Staging: mw.StageNone, Memory: memHi},
 		}
 		for i, cfg := range cfgs {
-			st, err := BuildTree(ds, cfg, dtree.Options{})
+			st, err := BuildTree(env, ds, cfg, dtree.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -133,7 +133,7 @@ func Fig4DataSize(scale float64) (*Experiment, error) {
 // Fig5aLimitedCCMemory reproduces Figure 5a: with staging disabled, shrinking
 // the memory available for count tables below a full frontier forces
 // multiple server scans per tree level, and time rises steeply.
-func Fig5aLimitedCCMemory(scale float64) (*Experiment, error) {
+func Fig5aLimitedCCMemory(env *Env, scale float64) (*Experiment, error) {
 	ds, err := fig45Data(scale, 100, 43)
 	if err != nil {
 		return nil, err
@@ -148,7 +148,7 @@ func Fig5aLimitedCCMemory(scale float64) (*Experiment, error) {
 		Series: []Series{{Name: "no caching"}},
 	}
 	for _, kb := range []int64{64, 96, 128, 192, 256, 512, 1024, 2048} {
-		st, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: kb << 10}, dtree.Options{})
+		st, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: kb << 10}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +161,7 @@ func Fig5aLimitedCCMemory(scale float64) (*Experiment, error) {
 // memory budget. Growth is near linear; once the data outgrows the memory
 // available for staging, proportionally less of it can be cached and the
 // slope steepens.
-func Fig5bRows(scale float64) (*Experiment, error) {
+func Fig5bRows(env *Env, scale float64) (*Experiment, error) {
 	casesSweep := []int{30, 60, 120, 240, 480}
 	mid, err := fig45Data(scale, casesSweep[2], 44)
 	if err != nil {
@@ -183,11 +183,11 @@ func Fig5bRows(scale float64) (*Experiment, error) {
 			return nil, err
 		}
 		x := float64(ds.N())
-		withC, err := BuildTree(ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
+		withC, err := BuildTree(env, ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		noC, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
+		noC, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +211,7 @@ func censusTree(scale float64, seed int64) (*data.Dataset, dtree.Options, error)
 
 // Fig6FileStaging reproduces Figure 6: total tree-build time for the four
 // file-staging configurations as middleware memory grows.
-func Fig6FileStaging(scale float64) (*Experiment, error) {
+func Fig6FileStaging(env *Env, scale float64) (*Experiment, error) {
 	ds, opt, err := censusTree(scale, 45)
 	if err != nil {
 		return nil, err
@@ -239,7 +239,7 @@ func Fig6FileStaging(scale float64) (*Experiment, error) {
 			{Staging: mw.StageFileAndMemory, FilePolicy: mw.FileSplitThreshold, Memory: memBytes},
 		}
 		for i, cfg := range cfgs {
-			st, err := BuildTree(ds, cfg, opt)
+			st, err := BuildTree(env, ds, cfg, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -251,7 +251,7 @@ func Fig6FileStaging(scale float64) (*Experiment, error) {
 
 // Fig7Attributes reproduces Figure 7 (left): time versus the number of
 // (binary) attributes with a fixed number of rows.
-func Fig7Attributes(scale float64) (*Experiment, error) {
+func Fig7Attributes(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "fig7-left",
 		Title:  "Scalability with the number of attributes (binary attributes, fixed rows)",
@@ -280,11 +280,11 @@ func Fig7Attributes(scale float64) (*Experiment, error) {
 	}
 	memory := maxBytes / 3 // the paper's 32/64 MB against 40–200 MB data
 	for i, attrs := range attrsSweep {
-		withC, err := BuildTree(dss[i], mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
+		withC, err := BuildTree(env, dss[i], mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		noC, err := BuildTree(dss[i], mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
+		noC, err := BuildTree(env, dss[i], mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +299,7 @@ func Fig7Attributes(scale float64) (*Experiment, error) {
 // SQL-based counting implementation versus the middleware's cursor scan on
 // small data sets. Even at these sizes the UNION-of-GROUP-BY strawman is an
 // order of magnitude slower, and diverges as data grows.
-func Fig7SQLCounting(scale float64) (*Experiment, error) {
+func Fig7SQLCounting(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "fig7-right",
 		Title:  "SQL-based counting vs middleware cursor scan (small data)",
@@ -323,7 +323,7 @@ func Fig7SQLCounting(scale float64) (*Experiment, error) {
 		}
 		x := float64(ds.N())
 
-		st, err := BuildTree(ds, mw.Config{Staging: mw.StageNone}, dtree.Options{})
+		st, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +346,7 @@ func Fig7SQLCounting(scale float64) (*Experiment, error) {
 // Fig8aAttributeValues reproduces Figure 8a: time versus values per
 // attribute on a long lop-sided tree, comparing the cursor scan (no caching)
 // with the file-based data store.
-func Fig8aAttributeValues(scale float64) (*Experiment, error) {
+func Fig8aAttributeValues(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "fig8a",
 		Title:  "Attribute values on a lop-sided tree; cursor vs file-based data store",
@@ -371,7 +371,7 @@ func Fig8aAttributeValues(scale float64) (*Experiment, error) {
 		// late in the lop-sided tree the frontier needs several scans.
 		memory := ds.Bytes() / 4
 
-		st, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
+		st, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +393,7 @@ func Fig8aAttributeValues(scale float64) (*Experiment, error) {
 
 // Fig8bLeaves reproduces Figure 8b: time versus the number of leaves in the
 // generating tree for a fixed data size, with a small memory budget.
-func Fig8bLeaves(scale float64) (*Experiment, error) {
+func Fig8bLeaves(env *Env, scale float64) (*Experiment, error) {
 	totalRows := scaled(8000, scale)
 	e := &Experiment{
 		ID:     "fig8b",
@@ -418,11 +418,11 @@ func Fig8bLeaves(scale float64) (*Experiment, error) {
 			memory = ds.Bytes() / 6 // the paper's "small amount of memory (8MB)" vs 10 MB data
 		}
 		x := float64(scaled(leaves, scale))
-		withC, err := BuildTree(ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
+		withC, err := BuildTree(env, ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		noC, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
+		noC, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -436,7 +436,7 @@ func Fig8bLeaves(scale float64) (*Experiment, error) {
 // access structures (copy table, TID join, keyset cursor + stored procedure)
 // versus the plain sequential scan, on a lop-sided tree whose active data
 // set shrinks along one long path.
-func IndexScans(scale float64) (*Experiment, error) {
+func IndexScans(env *Env, scale float64) (*Experiment, error) {
 	cfg := datagen.TreeGenConfig{
 		Leaves: scaled(30, scale), Attrs: 12, Values: 3, ValuesStdDev: 0,
 		Classes: 4, CasesPerLeaf: 200, Skew: 0.97, Seed: 50,
@@ -464,7 +464,7 @@ func IndexScans(scale float64) (*Experiment, error) {
 		{"copy-table", mw.AccessCopyTable},
 	}
 	for i, md := range modes {
-		st, err := BuildTree(ds, mw.Config{Staging: mw.StageNone, Access: md.access}, dtree.Options{})
+		st, err := BuildTree(env, ds, mw.Config{Staging: mw.StageNone, Access: md.access}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -478,7 +478,7 @@ func IndexScans(scale float64) (*Experiment, error) {
 // ExtractAllComparison measures the §2.3 extract-everything strawman against
 // the middleware at growing data sizes, with a client memory that the larger
 // data sets overflow.
-func ExtractAllComparison(scale float64) (*Experiment, error) {
+func ExtractAllComparison(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "extract-all",
 		Title:  "Extract-everything strawman vs middleware",
@@ -498,7 +498,7 @@ func ExtractAllComparison(scale float64) (*Experiment, error) {
 			clientMem = 2 * ds.Bytes() // the smallest data set fits; later ones spill
 		}
 		x := float64(ds.N())
-		st, err := BuildTree(ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: clientMem}, dtree.Options{})
+		st, err := BuildTree(env, ds, mw.Config{Staging: mw.StageMemoryOnly, Memory: clientMem}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -521,7 +521,7 @@ func ExtractAllComparison(scale float64) (*Experiment, error) {
 // NaiveBayesPlugin measures the Naive Bayes client: one scan of the data
 // builds the root counts table and the model; time is linear in rows and a
 // small multiple of a single scan regardless of data size.
-func NaiveBayesPlugin(scale float64) (*Experiment, error) {
+func NaiveBayesPlugin(env *Env, scale float64) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "naive-bayes",
 		Title:  "Naive Bayes plug-in client (single-scan training)",

@@ -15,12 +15,14 @@ import (
 // buildTreeRules is BuildTree plus the grown tree's rule set, used to assert
 // that a configuration change (here: the worker count) altered only the cost
 // of the build, never its result.
-func buildTreeRules(ds *data.Dataset, mcfg mw.Config, opt dtree.Options) (BuildStats, string, error) {
+func buildTreeRules(env *Env, ds *data.Dataset, mcfg mw.Config, opt dtree.Options) (BuildStats, string, error) {
 	meter := sim.NewDefaultMeter()
-	srv, err := engine.NewServer(engine.New(meter, 0), "cases", ds)
+	eng := engine.New(meter, 0)
+	srv, err := engine.NewServer(eng, "cases", ds)
 	if err != nil {
 		return BuildStats{}, "", err
 	}
+	env.attach(meter, eng, &mcfg)
 	m, err := mw.New(srv, mcfg)
 	if err != nil {
 		return BuildStats{}, "", err
@@ -45,7 +47,7 @@ func buildTreeRules(ds *data.Dataset, mcfg mw.Config, opt dtree.Options) (BuildS
 // grow — scan-dominated phases divide across lanes while the serial
 // fractions (cursor opens, shard merges, SQL fallbacks) bound the speedup —
 // and the grown tree must be identical at every worker count.
-func ScalingWorkers(scale float64) (*Experiment, error) {
+func ScalingWorkers(env *Env, scale float64) (*Experiment, error) {
 	ds, err := datagen.GenerateCensus(datagen.CensusConfig{Rows: scaled(20000, scale), Seed: 7})
 	if err != nil {
 		return nil, err
@@ -69,7 +71,7 @@ func ScalingWorkers(scale float64) (*Experiment, error) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			cfg := base
 			cfg.Workers = workers
-			stats, rules, err := buildTreeRules(ds, cfg, dtree.Options{})
+			stats, rules, err := buildTreeRules(env, ds, cfg, dtree.Options{})
 			if err != nil {
 				return nil, err
 			}

@@ -11,13 +11,14 @@ import (
 
 // BuildTreeWithCosts is BuildTree under an explicit cost model, for the
 // sensitivity analysis.
-func BuildTreeWithCosts(ds *data.Dataset, costs sim.Costs, mcfg mw.Config, opt dtree.Options) (BuildStats, error) {
+func BuildTreeWithCosts(env *Env, ds *data.Dataset, costs sim.Costs, mcfg mw.Config, opt dtree.Options) (BuildStats, error) {
 	meter := sim.NewMeter(costs)
 	eng := engine.New(meter, 0)
 	srv, err := engine.NewServer(eng, "cases", ds)
 	if err != nil {
 		return BuildStats{}, err
 	}
+	env.attach(meter, eng, &mcfg)
 	m, err := mw.New(srv, mcfg)
 	if err != nil {
 		return BuildStats{}, err
@@ -57,7 +58,7 @@ func costVariants() []costVariant {
 // models. The reproduction's conclusions must not hinge on the exact
 // calibration: staging must win and SQL counting must lose under every
 // variant within a factor of two of the defaults.
-func Sensitivity(scale float64) (*Experiment, error) {
+func Sensitivity(env *Env, scale float64) (*Experiment, error) {
 	ds, err := fig45Data(scale, 100, 71)
 	if err != nil {
 		return nil, err
@@ -80,11 +81,11 @@ func Sensitivity(scale float64) (*Experiment, error) {
 	for i, v := range costVariants() {
 		costs := sim.DefaultCosts()
 		v.apply(&costs)
-		withC, err := BuildTreeWithCosts(ds, costs, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
+		withC, err := BuildTreeWithCosts(env, ds, costs, mw.Config{Staging: mw.StageMemoryOnly, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}
-		noC, err := BuildTreeWithCosts(ds, costs, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
+		noC, err := BuildTreeWithCosts(env, ds, costs, mw.Config{Staging: mw.StageNone, Memory: memory}, dtree.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/sim"
 )
@@ -32,7 +33,20 @@ func (m *Middleware) Step() ([]*Result, error) {
 	if b == nil {
 		return nil, nil
 	}
+	// Observability: spans and metrics read the meter but never charge it,
+	// so enabling them cannot change any simulated result. With tracing and
+	// metrics disabled (tr == nil, cfg.Metrics == nil) none of the
+	// instrumentation below allocates.
+	tr := m.srv.Tracer()
+	srcName := b.kind.name()
+	var snap sim.Snapshot
+	if tr != nil || m.cfg.Metrics != nil {
+		snap = m.meter.Snapshot()
+	}
 	m.meter.Charge(sim.CtrBatches, 0, 1)
+	batchNo := int(m.meter.Count(sim.CtrBatches))
+	bsp := tr.Start(obs.CatBatch, "batch").SetSource(srcName).Attr("batch", int64(batchNo))
+	defer bsp.End()
 
 	plan := m.planStaging(b)
 	for _, t := range plan.fileTees {
@@ -145,7 +159,20 @@ func (m *Middleware) Step() ([]*Result, error) {
 		}
 	}
 
+	var laneStats []EventLane
 	if len(live) > 0 {
+		ssp := tr.Start(obs.CatScan, "scan").SetSource(srcName)
+		if ssp != nil {
+			ids := make([]int, len(live))
+			for i, w := range live {
+				ids[i] = w.req.NodeID
+			}
+			ssp.SetNodes(ids)
+		}
+		var scanSnap sim.Snapshot
+		if ssp != nil {
+			scanSnap = m.meter.Snapshot()
+		}
 		var scanErr error
 		if nworkers, psrv := m.planParallel(b); nworkers > 1 {
 			var pres *parallelScanResult
@@ -155,6 +182,7 @@ func (m *Middleware) Step() ([]*Result, error) {
 				ccBytes, teeBytes = pres.ccBytes, pres.teeBytes
 				requeued = append(requeued, pres.requeued...)
 				fallback = append(fallback, pres.fallback...)
+				laneStats = pres.lanes
 				// Re-check the eviction/fallback path post-merge: the
 				// per-worker budget slices are only a mid-scan
 				// approximation, and the merged tables plus concatenated
@@ -182,14 +210,20 @@ func (m *Middleware) Step() ([]*Result, error) {
 			}
 			return nil, scanErr
 		}
+		if ssp != nil {
+			ssp.SetRows(m.meter.CountSince(scanSnap, scanRowCounter(b.kind)))
+		}
+		ssp.End()
 	}
 
 	// Finalize staging.
 	for _, t := range plan.fileTees {
+		stsp := tr.Start(obs.CatStage, "stage-file").SetNodes(t.keyNodes)
 		sf, err := t.writer.Finish()
 		if err != nil {
 			return nil, err
 		}
+		stsp.SetRows(sf.rows).SetBytes(sf.bytes).End()
 		sd := &stageData{
 			seq:       m.nextStageSeq(),
 			nodeID:    t.keyNodes[0],
@@ -203,8 +237,12 @@ func (m *Middleware) Step() ([]*Result, error) {
 		}
 		m.registerStage(sd)
 	}
+	var stagedMemRows int64
 	for _, t := range plan.memTees {
 		bytes := int64(len(t.mem)) * rowMemBytes
+		stagedMemRows += int64(len(t.mem))
+		tr.Start(obs.CatStage, "stage-memory").SetNodes(t.keyNodes).
+			SetRows(int64(len(t.mem))).SetBytes(bytes).End()
 		sd := &stageData{
 			seq:       m.nextStageSeq(),
 			nodeID:    t.keyNodes[0],
@@ -223,7 +261,6 @@ func (m *Middleware) Step() ([]*Result, error) {
 
 	// Post results.
 	var results []*Result
-	srcName := map[sourceKind]string{srcMemory: "memory", srcFile: "file", srcServer: "server"}[b.kind]
 	for _, w := range live {
 		res := &Result{Req: w.req, CC: w.cc, Source: srcName}
 		m.open[w.req.NodeID] = res
@@ -231,11 +268,13 @@ func (m *Middleware) Step() ([]*Result, error) {
 		results = append(results, res)
 	}
 	for _, r := range fallback {
+		fsp := tr.Start(obs.CatFallback, "sql-fallback").Attr("node", int64(r.NodeID))
 		t, err := m.sqlCounts(r)
 		if err != nil {
 			return nil, err
 		}
 		m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
+		fsp.SetSource("sql").SetRows(t.Rows()).End()
 		res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
 		m.open[r.NodeID] = res
 		m.ccHold += t.Bytes()
@@ -246,9 +285,11 @@ func (m *Middleware) Step() ([]*Result, error) {
 
 	if m.cfg.Trace != nil {
 		ev := Event{
-			Batch:    int(m.meter.Count(sim.CtrBatches)),
-			Source:   srcName,
-			NewFiles: len(plan.fileTees),
+			Batch:         batchNo,
+			Source:        srcName,
+			NewFiles:      len(plan.fileTees),
+			StagedMemRows: stagedMemRows,
+			Lanes:         laneStats,
 		}
 		for _, w := range live {
 			ev.Nodes = append(ev.Nodes, w.req.NodeID)
@@ -259,12 +300,87 @@ func (m *Middleware) Step() ([]*Result, error) {
 		for _, r := range requeued {
 			ev.Requeued = append(ev.Requeued, r.NodeID)
 		}
-		for _, t := range plan.memTees {
-			ev.StagedMem += int64(len(t.mem))
-		}
 		m.cfg.Trace(ev)
 	}
+	if pm := m.cfg.Metrics; pm != nil {
+		srvN, fileN, memN := m.residency()
+		bs := obs.BatchStats{
+			Batch:          batchNo,
+			Source:         srcName,
+			StartNS:        int64(snap.Now),
+			EndNS:          int64(m.meter.Now()),
+			NNodes:         len(live),
+			NFallbacks:     len(fallback),
+			NRequeued:      len(requeued),
+			NewFiles:       len(plan.fileTees),
+			StagedMemRows:  stagedMemRows,
+			Deltas:         deltasByName(m.meter.CountersSince(snap)),
+			MemUsedBytes:   m.MemoryInUse(),
+			MemBudgetBytes: m.cfg.Memory,
+			FileUsedBytes:  m.files.bytesInUse,
+			FileBudget:     m.cfg.FileBudget,
+			FilesLive:      m.files.live,
+			NodesServer:    srvN,
+			NodesFile:      fileN,
+			NodesMemory:    memN,
+		}
+		for _, ls := range laneStats {
+			bs.Lanes = append(bs.Lanes, obs.LaneStat{
+				Lane: ls.Lane, ElapsedNS: int64(ls.Elapsed), Rows: ls.Rows,
+			})
+		}
+		pm.AddBatch(bs)
+	}
 	return results, nil
+}
+
+// scanRowCounter maps a source tier to the counter that measures rows the
+// scan delivered to the middleware from that tier.
+func scanRowCounter(k sourceKind) sim.Counter {
+	switch k {
+	case srcMemory:
+		return sim.CtrMemRowsRead
+	case srcFile:
+		return sim.CtrFileRowsRead
+	}
+	return sim.CtrRowsTransmitted
+}
+
+// deltasByName converts a counter-delta map to the name-keyed form the
+// metrics registry serializes.
+func deltasByName(in map[sim.Counter]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for c, v := range in {
+		out[c.String()] = v
+	}
+	return out
+}
+
+// residency counts, for the staging-tier residency timeline, the open nodes
+// covered by a live memory stage, those covered by a live file stage, and the
+// queued nodes with no staged ancestor (still served from the server).
+func (m *Middleware) residency() (server, file, mem int) {
+	seen := map[*stageData]bool{}
+	for _, list := range m.sources {
+		for _, sd := range list {
+			if sd.freed || seen[sd] {
+				continue
+			}
+			seen[sd] = true
+			switch {
+			case sd.mem != nil:
+				mem += len(sd.openNodes)
+			case sd.file != nil:
+				file += len(sd.openNodes)
+			}
+		}
+	}
+	for _, r := range m.queue {
+		if len(m.ancestorSources(r.NodeID)) == 0 {
+			server++
+		}
+	}
+	return server, file, mem
 }
 
 // runScan drives every row of the batch's source through process.

@@ -7,9 +7,16 @@ import (
 	"repro/internal/cc"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/sim"
 )
+
+// laneRows returns the rows a lane read from its partition of the batch's
+// source, from the lane's private counters.
+func laneRows(lane *sim.Meter, k sourceKind) int64 {
+	return lane.Count(scanRowCounter(k))
+}
 
 // This file implements the multi-worker batched-scan pipeline: with
 // Config.Workers > 1, Step splits the batch's data source into disjoint
@@ -37,6 +44,7 @@ type parallelScanResult struct {
 	teeBytes int64
 	requeued []*Request
 	fallback []*Request
+	lanes    []EventLane // per-lane elapsed/rows, partition order
 }
 
 // workerShard is the worker-local state of one scan lane: per-request CC
@@ -109,6 +117,12 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 	slice := budget / int64(nworkers)
 	rowMemBytes := int64(m.schema.RowBytes()) + memRowOverhead
 
+	// Lane tracers buffer spans privately per worker and fold back in lane
+	// order at the barrier, mirroring the meter fork/join exactly. A nil
+	// tracer yields a nil slice and nil lane tracers — zero overhead.
+	tr := m.srv.Tracer()
+	ltrs := tr.ForkLanes(lanes)
+
 	shards := make([]*workerShard, nworkers)
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
@@ -124,16 +138,23 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 			sh.ccs[i] = cc.New()
 		}
 		shards[w] = sh
+		var ltr *obs.Tracer
+		if ltrs != nil {
+			ltr = ltrs[w]
+		}
 		wg.Add(1)
-		go func(part int, sh *workerShard, lane *sim.Meter) {
+		go func(part int, sh *workerShard, lane *sim.Meter, ltr *obs.Tracer) {
 			defer wg.Done()
+			lsp := ltr.Start(obs.CatLane, "lane").SetPartition(part, nworkers)
 			sh.err = m.scanWorker(b, plan, live, psrv, part, nworkers, lane, sh, slice, rowMemBytes)
-		}(w, sh, lanes[w])
+			lsp.SetRows(laneRows(lane, b.kind)).End()
+		}(w, sh, lanes[w], ltr)
 	}
 	wg.Wait()
 	// The barrier: lanes fold back in fixed index order. Counters sum;
 	// the clock advances by the slowest lane.
 	m.meter.Join(lanes)
+	tr.JoinLanes(ltrs)
 	for _, sh := range shards {
 		if sh.err != nil {
 			return nil, sh.err
@@ -141,6 +162,15 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 	}
 
 	res := &parallelScanResult{}
+	if m.cfg.Trace != nil || m.cfg.Metrics != nil {
+		for i, lane := range lanes {
+			res.lanes = append(res.lanes, EventLane{
+				Lane:    i + 1,
+				Elapsed: lane.Now(),
+				Rows:    laneRows(lane, b.kind),
+			})
+		}
+	}
 
 	// A request shed by any worker lacks that partition's rows and cannot be
 	// completed this scan. Mirroring the sequential eviction semantics, shed
@@ -163,6 +193,8 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 	// Merge CC shards in partition order, charging the serial per-entry
 	// merge cost on the parent meter. Counting is commutative over disjoint
 	// partitions, so the merged tables are identical to a sequential scan's.
+	msp := tr.Start(obs.CatMerge, "shard-merge")
+	var mergedEntries int64
 	mergeCost := m.meter.Costs().MergeEntry
 	for i, wk := range live {
 		if shedAny[i] {
@@ -177,12 +209,14 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 		for _, sh := range shards[1:] {
 			t := sh.ccs[i]
 			m.meter.Charge(sim.CtrShardMergeEntries, mergeCost, int64(t.Entries()))
+			mergedEntries += int64(t.Entries())
 			merged.Merge(t)
 		}
 		wk.cc = merged
 		res.live = append(res.live, wk)
 		res.ccBytes += merged.Bytes()
 	}
+	msp.Attr("entries", mergedEntries).End()
 
 	// Memory tees: a tee abandoned by any worker is dropped entirely (a
 	// partial capture is useless as staged data); survivors concatenate the

@@ -16,10 +16,12 @@ package mw
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/sim"
 )
@@ -176,19 +178,35 @@ type Config struct {
 
 	// Trace, when non-nil, receives one Event per executed batch — the
 	// scheduling decisions (source, serviced nodes, fallbacks, staging)
-	// that are otherwise invisible to the client.
+	// that are otherwise invisible to the client. It fires on every path,
+	// including Workers > 1 batches (which add per-lane detail) and batches
+	// serviced entirely by the SQL fallback.
 	Trace func(Event)
+
+	// Metrics, when non-nil, receives one obs.BatchStats per executed batch:
+	// counter deltas, lane-imbalance figures, and budget/tier residency at
+	// batch end. Wire it (together with the engine's tracer) through
+	// obs.Collector.Proc.
+	Metrics *obs.ProcMetrics
 }
 
 // Event describes one executed middleware batch for tracing.
 type Event struct {
-	Batch     int    // 1-based batch sequence number
-	Source    string // "server", "file" or "memory"
-	Nodes     []int  // node ids serviced by the scan
-	Fallback  []int  // node ids serviced by the SQL fallback
-	Requeued  []int  // node ids shed mid-scan and returned to the queue
-	NewFiles  int    // staging files created by this batch
-	StagedMem int64  // rows staged into middleware memory by this batch
+	Batch         int         // 1-based batch sequence number
+	Source        string      // "server", "file" or "memory"
+	Nodes         []int       // node ids serviced by the scan
+	Fallback      []int       // node ids serviced by the SQL fallback
+	Requeued      []int       // node ids shed mid-scan and returned to the queue
+	NewFiles      int         // staging files created by this batch
+	StagedMemRows int64       // rows staged into middleware memory by this batch
+	Lanes         []EventLane // per-worker detail for Workers > 1 scans (nil otherwise)
+}
+
+// EventLane describes one worker lane of a parallel batch scan.
+type EventLane struct {
+	Lane    int           // 1-based lane index (partition order)
+	Elapsed time.Duration // lane virtual time; the max lane is the batch's critical path
+	Rows    int64         // rows the lane read from its partition of the source
 }
 
 // Request asks the middleware for the counts table of one active node.
@@ -256,7 +274,7 @@ func New(srv *engine.Server, cfg Config) (*Middleware, error) {
 	if cfg.Memory < 0 || cfg.FileBudget < 0 {
 		return nil, fmt.Errorf("mw: negative budget")
 	}
-	fs, err := newFileStore(cfg.Dir, srv.Meter(), srv.Schema(), cfg.FileBudget)
+	fs, err := newFileStore(cfg.Dir, srv.Meter(), srv.Schema(), cfg.FileBudget, srv.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -286,6 +304,12 @@ func (m *Middleware) Config() Config { return m.cfg }
 
 // Meter returns the middleware's meter.
 func (m *Middleware) Meter() *sim.Meter { return m.meter }
+
+// Tracer returns the observability tracer attached to the backing engine
+// (nil when tracing is disabled). The middleware and the client open their
+// spans on the same tracer as the engine so the whole build shares one
+// virtual-clock timeline.
+func (m *Middleware) Tracer() *obs.Tracer { return m.srv.Tracer() }
 
 // Schema returns the classification schema of the backing table.
 func (m *Middleware) Schema() *data.Schema { return m.schema }

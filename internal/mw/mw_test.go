@@ -470,7 +470,7 @@ func TestTraceEvents(t *testing.T) {
 	if events[0].Source != "server" || len(events[0].Nodes) != 1 || events[0].Nodes[0] != 0 {
 		t.Errorf("event 0 = %+v", events[0])
 	}
-	if events[0].StagedMem == 0 {
+	if events[0].StagedMemRows == 0 {
 		t.Errorf("root scan staged nothing: %+v", events[0])
 	}
 	if events[1].Source != "memory" {

@@ -1,0 +1,373 @@
+package mw
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// TestParallelBatchEmitsEventWithLanes: a Workers > 1 batch must fire
+// Config.Trace exactly like a sequential one, and its Event carries per-lane
+// detail — one entry per worker in partition order, with the lane's virtual
+// elapsed time and row count.
+func TestParallelBatchEmitsEventWithLanes(t *testing.T) {
+	ds := randDataset(2000, 5)
+	var events []Event
+	m, _ := newMW(t, ds, Config{
+		Staging: StageNone, Workers: 4,
+		Trace: func(e Event) { events = append(events, e) },
+	})
+	if err := m.Enqueue(rootRequest(ds)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	m.CloseNode(0)
+
+	if len(events) != 1 {
+		t.Fatalf("parallel batch emitted %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Source != "server" || len(ev.Nodes) != 1 || ev.Nodes[0] != 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Lanes) != 4 {
+		t.Fatalf("event has %d lanes, want 4 (one per worker)", len(ev.Lanes))
+	}
+	var rows int64
+	for i, l := range ev.Lanes {
+		if l.Lane != i+1 {
+			t.Errorf("lane %d index = %d, want %d (partition order)", i, l.Lane, i+1)
+		}
+		if l.Elapsed <= 0 {
+			t.Errorf("lane %d elapsed = %v, want > 0", i, l.Elapsed)
+		}
+		rows += l.Rows
+	}
+	// The root predicate matches every row, so the lanes' partitions tile the
+	// table exactly.
+	if rows != int64(ds.N()) {
+		t.Errorf("lane rows sum = %d, want %d", rows, ds.N())
+	}
+}
+
+// TestStagedMemRowsUnits pins the Event.StagedMemRows unit: it counts rows,
+// not bytes. The root batch under memory-only staging tees every table row
+// into middleware memory, so the field must equal the dataset's row count
+// exactly (a byte count would be larger by the row size). Sequential batches
+// carry no lane detail.
+func TestStagedMemRowsUnits(t *testing.T) {
+	ds := randDataset(400, 12)
+	var events []Event
+	m, _ := newMW(t, ds, Config{
+		Staging: StageMemoryOnly, Memory: 4 * ds.Bytes(),
+		Trace: func(e Event) { events = append(events, e) },
+	})
+	if err := m.Enqueue(rootRequest(ds)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	m.CloseNode(0)
+
+	if len(events) != 1 {
+		t.Fatalf("%d events, want 1", len(events))
+	}
+	if got, want := events[0].StagedMemRows, int64(ds.N()); got != want {
+		t.Fatalf("StagedMemRows = %d, want %d rows (row count, not bytes)", got, want)
+	}
+	if events[0].Lanes != nil {
+		t.Fatalf("sequential batch has lane detail: %+v", events[0].Lanes)
+	}
+}
+
+// TestFallbackOnlyBatchEmitsEvent: a batch serviced entirely by the SQL
+// fallback (nothing admitted to the scan) still fires Config.Trace, with
+// empty Nodes and the fallback node listed.
+func TestFallbackOnlyBatchEmitsEvent(t *testing.T) {
+	ds := randDataset(300, 9)
+	var events []Event
+	// The root's honest CC estimate is ~26 entries; a 10-entry budget admits
+	// nothing, so scheduling sends the root straight to the SQL fallback.
+	m, _ := newMW(t, ds, Config{
+		Staging: StageNone, Memory: 10 * cc.EntryBytes,
+		Trace: func(e Event) { events = append(events, e) },
+	})
+	if err := m.Enqueue(rootRequest(ds)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CloseNode(0)
+
+	if len(results) != 1 || !results[0].ViaSQL {
+		t.Fatalf("results = %+v, want one SQL-fallback result", results)
+	}
+	if len(events) != 1 {
+		t.Fatalf("fallback-only batch emitted %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if len(ev.Nodes) != 0 {
+		t.Errorf("fallback-only event lists scan nodes: %+v", ev)
+	}
+	if len(ev.Fallback) != 1 || ev.Fallback[0] != 0 {
+		t.Errorf("event fallback = %v, want [0]", ev.Fallback)
+	}
+	if ev.Batch != 1 {
+		t.Errorf("batch = %d, want 1", ev.Batch)
+	}
+}
+
+// TestRequeueBatchEmitsEvent: when the scheduler's admission estimate proves
+// too low mid-scan, the shed request is requeued and the batch's Event
+// records it. The test first measures the children's true CC sizes with an
+// unlimited budget, then replays with a budget that fits either child alone
+// but not both.
+func TestRequeueBatchEmitsEvent(t *testing.T) {
+	ds := randDataset(800, 21)
+	childReqs := func() []*Request {
+		return []*Request{
+			{NodeID: 1, ParentID: 0,
+				Path:  predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 0}},
+				Attrs: []int{1, 2, 3},
+				Rows:  countMatching(ds, 0, 0, true), EstCC: 1},
+			{NodeID: 2, ParentID: 0,
+				Path:  predicate.Conj{{Attr: 0, Op: predicate.Ne, Val: 0}},
+				Attrs: []int{1, 2, 3},
+				Rows:  countMatching(ds, 0, 0, false), EstCC: 1},
+		}
+	}
+	drive := func(cfg Config) (map[int]int64, []Event) {
+		var events []Event
+		cfg.Trace = func(e Event) { events = append(events, e) }
+		m, _ := newMW(t, ds, cfg)
+		if err := m.Enqueue(rootRequest(ds)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Enqueue(childReqs()...); err != nil {
+			t.Fatal(err)
+		}
+		m.CloseNode(0)
+		sizes := map[int]int64{}
+		for m.Pending() > 0 {
+			results, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) == 0 {
+				t.Fatal("no progress with pending requests")
+			}
+			for _, r := range results {
+				sizes[r.Req.NodeID] = r.CC.Bytes()
+				m.CloseNode(r.Req.NodeID)
+			}
+		}
+		return sizes, events
+	}
+
+	// Measurement pass: true table sizes under an unlimited budget.
+	sizes, _ := drive(Config{Staging: StageNone})
+	b1, b2 := sizes[1], sizes[2]
+	rootNeed := rootRequest(ds).EstCC * cc.EntryBytes
+	mem := rootNeed
+	if b1 > mem {
+		mem = b1
+	}
+	if b2 > mem {
+		mem = b2
+	}
+	mem += cc.EntryBytes
+	if mem >= b1+b2 {
+		t.Fatalf("cannot construct requeue budget: max+margin %d >= sum %d", mem, b1+b2)
+	}
+
+	// Constrained pass: both children admitted on their (lying) 1-entry
+	// estimates, mid-scan growth overflows the budget, one is shed.
+	sizes, events := drive(Config{Staging: StageNone, Memory: mem})
+	if len(sizes) != 2 {
+		t.Fatalf("serviced %d children, want 2 (all requests eventually fulfilled)", len(sizes))
+	}
+	var requeueEv *Event
+	for i := range events {
+		if len(events[i].Requeued) > 0 {
+			requeueEv = &events[i]
+		}
+	}
+	if requeueEv == nil {
+		t.Fatalf("no event recorded a requeue; events = %+v", events)
+	}
+	if len(requeueEv.Requeued) != 1 || len(requeueEv.Nodes) != 1 {
+		t.Fatalf("requeue event = %+v, want 1 serviced + 1 requeued", requeueEv)
+	}
+	if requeueEv.Requeued[0] == requeueEv.Nodes[0] {
+		t.Fatalf("requeued node equals serviced node: %+v", requeueEv)
+	}
+}
+
+// driveTreeObs runs a fixed two-level protocol with full observability
+// attached (tracer on the engine, metrics on the middleware) and returns the
+// Chrome trace, NDJSON trace and metrics JSON exports.
+func driveTreeObs(t *testing.T, workers int) (chrome, nd, metrics []byte) {
+	t.Helper()
+	ds := randDataset(1500, 3)
+	col := obs.NewCollector(true, true)
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+	tr, pm := col.Proc("drive", meter)
+	eng.SetTracer(tr)
+	srv, err := engine.NewServer(eng, "cases", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(srv, Config{
+		Staging: StageFileAndMemory, Workers: workers,
+		Dir: t.TempDir(), Metrics: pm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	drain := func() {
+		for m.Pending() > 0 {
+			results, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) == 0 {
+				t.Fatal("no progress with pending requests")
+			}
+		}
+	}
+	if err := m.Enqueue(rootRequest(ds)); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+	for v := 0; v < 3; v++ {
+		err := m.Enqueue(&Request{
+			NodeID: 1 + v, ParentID: 0,
+			Path:  predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: data.Value(v)}},
+			Attrs: []int{1, 2, 3},
+			Rows:  countMatching(ds, 0, data.Value(v), true),
+			EstCC: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.CloseNode(0)
+	drain()
+	for id := 1; id <= 3; id++ {
+		m.CloseNode(id)
+	}
+
+	var cb, nb, mb bytes.Buffer
+	if err := col.WriteTrace(&cb, "chrome"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteTrace(&nb, "ndjson"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), nb.Bytes(), mb.Bytes()
+}
+
+// TestObsByteDeterminism is the determinism contract of internal/obs end to
+// end: for each fixed worker count, the Chrome trace, the NDJSON trace and
+// the metrics JSON are byte-for-byte identical across repeated runs and
+// across GOMAXPROCS settings. (Traces at different worker counts legitimately
+// differ — the virtual clock does.)
+func TestObsByteDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			refChrome, refND, refMetrics := driveTreeObs(t, workers)
+			if len(refND) == 0 {
+				t.Fatal("empty NDJSON trace")
+			}
+			run := 0
+			for _, procs := range []int{1, 4} {
+				old := runtime.GOMAXPROCS(procs)
+				for rep := 0; rep < 2; rep++ {
+					run++
+					chrome, nd, metrics := driveTreeObs(t, workers)
+					if !bytes.Equal(chrome, refChrome) {
+						t.Errorf("run %d (GOMAXPROCS=%d): chrome trace differs", run, procs)
+					}
+					if !bytes.Equal(nd, refND) {
+						t.Errorf("run %d (GOMAXPROCS=%d): ndjson trace differs", run, procs)
+					}
+					if !bytes.Equal(metrics, refMetrics) {
+						t.Errorf("run %d (GOMAXPROCS=%d): metrics differ", run, procs)
+					}
+				}
+				runtime.GOMAXPROCS(old)
+				if t.Failed() {
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestObsNeverPerturbsSimulation: attaching the full observability stack must
+// leave the virtual clock, every counter and every result byte-identical to
+// an uninstrumented run — observers read the meter, they never charge it.
+func TestObsNeverPerturbsSimulation(t *testing.T) {
+	fingerprint := func(workers int, instrument bool) string {
+		ds := randDataset(1200, 7)
+		meter := sim.NewDefaultMeter()
+		eng := engine.New(meter, 0)
+		cfg := Config{Staging: StageMemoryOnly, Memory: 4 * ds.Bytes(), Workers: workers}
+		if instrument {
+			col := obs.NewCollector(true, true)
+			tr, pm := col.Proc("x", meter)
+			eng.SetTracer(tr)
+			cfg.Metrics = pm
+		}
+		srv, err := engine.NewServer(eng, "cases", ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Dir = t.TempDir()
+		m, err := New(srv, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if err := m.Enqueue(rootRequest(ds)); err != nil {
+			t.Fatal(err)
+		}
+		results, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.CloseNode(0)
+		return fmt.Sprintf("%v %s %s", meter.Now(), meter.String(), results[0].CC.String())
+	}
+	for _, workers := range []int{1, 4} {
+		plain := fingerprint(workers, false)
+		instrumented := fingerprint(workers, true)
+		if plain != instrumented {
+			t.Errorf("workers=%d: observability perturbed the simulation\nplain:        %s\ninstrumented: %s",
+				workers, plain, instrumented)
+		}
+	}
+}

@@ -19,6 +19,17 @@ const (
 	srcServer
 )
 
+// name returns the source tier label used in results, events and spans.
+func (k sourceKind) name() string {
+	switch k {
+	case srcMemory:
+		return "memory"
+	case srcFile:
+		return "file"
+	}
+	return "server"
+}
+
 // batch is one scheduling decision: the set of requests to service in a
 // single scan of one source.
 type batch struct {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -52,10 +53,14 @@ type fileStore struct {
 	schema     *data.Schema
 	budget     int64 // 0 = unlimited
 	bytesInUse int64
+	live       int // staging files currently registered
 	seq        int
+	// tracer resolves the observability tracer lazily (it may be attached to
+	// the engine after the middleware is constructed); nil-safe throughout.
+	tracer func() *obs.Tracer
 }
 
-func newFileStore(dir string, meter *sim.Meter, schema *data.Schema, budget int64) (*fileStore, error) {
+func newFileStore(dir string, meter *sim.Meter, schema *data.Schema, budget int64, tracer func() *obs.Tracer) (*fileStore, error) {
 	owns := false
 	if dir == "" {
 		d, err := os.MkdirTemp("", "mwstage-")
@@ -65,7 +70,7 @@ func newFileStore(dir string, meter *sim.Meter, schema *data.Schema, budget int6
 		dir = d
 		owns = true
 	}
-	return &fileStore{dir: dir, ownsDir: owns, meter: meter, schema: schema, budget: budget}, nil
+	return &fileStore{dir: dir, ownsDir: owns, meter: meter, schema: schema, budget: budget, tracer: tracer}, nil
 }
 
 // Close removes the staging directory if the store created it.
@@ -142,6 +147,7 @@ func (fw *fileWriter) Finish() (*stageFile, error) {
 		return nil, fmt.Errorf("mw: write staging file: %w", fw.err)
 	}
 	fw.fs.bytesInUse += fw.sf.bytes
+	fw.fs.live++
 	return fw.sf, nil
 }
 
@@ -169,8 +175,13 @@ func (fw *fileWriter) writeEncoded(buf []byte, rows int64) {
 
 // scan reads every row of the file in order, charging the per-row file read
 // cost to the store's meter, and calls fn. fn must not retain the row.
+// Parallel partition reads are not spanned here: each worker's lane span
+// (exec_parallel.go) covers its partition.
 func (fs *fileStore) scan(sf *stageFile, fn func(data.Row) error) error {
-	return fs.scanPartition(sf, 0, 1, fs.meter, fn)
+	sp := fs.tracer().Start(obs.CatCursor, "file-scan").SetRows(sf.rows).SetBytes(sf.bytes)
+	err := fs.scanPartition(sf, 0, 1, fs.meter, fn)
+	sp.End()
+	return err
 }
 
 // scanPartition reads one contiguous row range of the file — partition part
@@ -215,4 +226,5 @@ func (fs *fileStore) scanPartition(sf *stageFile, part, nparts int, meter *sim.M
 func (fs *fileStore) remove(sf *stageFile) {
 	os.Remove(sf.path)
 	fs.bytesInUse -= sf.bytes
+	fs.live--
 }

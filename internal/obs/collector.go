@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Collector bundles a Trace and a Metrics registry behind one handle with
+// unified proc-id assignment, so the CLIs and the experiment harness wire
+// observability with a single object. A nil Collector is the disabled state:
+// Proc returns (nil, nil) and the writers are no-ops, so call sites need no
+// enabled/disabled branches.
+type Collector struct {
+	mu       sync.Mutex
+	nextProc int
+
+	Trace   *Trace   // nil when span tracing is disabled
+	Metrics *Metrics // nil when the metrics registry is disabled
+}
+
+// NewCollector returns a collector with the requested facilities, or nil if
+// both are disabled.
+func NewCollector(trace, metrics bool) *Collector {
+	if !trace && !metrics {
+		return nil
+	}
+	c := &Collector{}
+	if trace {
+		c.Trace = NewTrace()
+	}
+	if metrics {
+		c.Metrics = NewMetrics()
+	}
+	return c
+}
+
+// Proc registers one virtual-clock domain (one build's meter) under the next
+// proc id and returns its root tracer and metrics sink; either may be nil
+// depending on what the collector enables. The meter's charge observer is
+// attached here when metrics are on — Proc is the single wiring point.
+func (c *Collector) Proc(label string, meter *sim.Meter) (*Tracer, *ProcMetrics) {
+	if c == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	c.nextProc++
+	id := c.nextProc
+	c.mu.Unlock()
+	tr := c.Trace.Proc(id, label, meter)
+	var pm *ProcMetrics
+	if c.Metrics != nil {
+		pm = c.Metrics.NewProc(id, label, meter)
+		meter.SetObserver(pm)
+	}
+	return tr, pm
+}
+
+// WriteTrace writes the trace in the given format: "chrome" (Perfetto/Chrome
+// trace-event JSON, including metrics counter tracks when enabled) or
+// "ndjson" (one span per line).
+func (c *Collector) WriteTrace(w io.Writer, format string) error {
+	if c == nil {
+		return nil
+	}
+	switch format {
+	case "", "chrome":
+		return c.Trace.WriteChrome(w, c.Metrics)
+	case "ndjson":
+		return c.Trace.WriteNDJSON(w)
+	default:
+		return fmt.Errorf("obs: unknown trace format %q (want chrome or ndjson)", format)
+	}
+}
+
+// WriteMetrics writes the metrics registry as indented JSON.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return c.Metrics.WriteJSON(w)
+}
+
+// Summary returns the metrics digest, or "" when metrics are disabled.
+func (c *Collector) Summary() string {
+	if c == nil {
+		return ""
+	}
+	return c.Metrics.Summary()
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// usec renders a virtual-ns quantity as Chrome trace-event microseconds with
+// nanosecond precision ("1234.567"). A fixed formatter (never float64) keeps
+// the export byte-deterministic.
+type usec int64
+
+func (u usec) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d.%03d", int64(u)/1000, int64(u)%1000)), nil
+}
+
+// traceEvent is one Chrome trace-event object. Field order is fixed by the
+// struct; map-valued Args marshal with sorted keys — both are load-bearing
+// for the byte-determinism contract.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   usec           `json:"ts"`
+	Dur  *usec          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome/Perfetto trace-event JSON: each proc
+// becomes a process, each track (main, lane 1, lane 2, ...) a thread, each
+// span a complete ("X") event. Load the file at https://ui.perfetto.dev.
+// Counter ("C") events from optional metrics render budget utilization and
+// counter rates as time series; pass nil to export spans only.
+func (t *Trace) WriteChrome(w io.Writer, m *Metrics) error {
+	ew := &eventWriter{w: w}
+	ew.begin()
+	if t != nil {
+		t.mu.Lock()
+		for _, p := range t.procs {
+			ew.emit(traceEvent{
+				Name: "process_name", Ph: "M", Pid: p.id,
+				Args: map[string]any{"name": p.name},
+			})
+			ew.emit(traceEvent{
+				Name: "process_sort_index", Ph: "M", Pid: p.id,
+				Args: map[string]any{"sort_index": p.id},
+			})
+			for tid, tn := range p.tracks {
+				ew.emit(traceEvent{
+					Name: "thread_name", Ph: "M", Pid: p.id, Tid: tid,
+					Args: map[string]any{"name": tn},
+				})
+				ew.emit(traceEvent{
+					Name: "thread_sort_index", Ph: "M", Pid: p.id, Tid: tid,
+					Args: map[string]any{"sort_index": tid},
+				})
+			}
+			for _, s := range p.spans {
+				d := usec(s.Dur)
+				ew.emit(traceEvent{
+					Name: s.Name, Cat: s.Cat, Ph: "X",
+					Ts: usec(s.Start), Dur: &d,
+					Pid: s.Proc, Tid: s.Track, ID: s.ID,
+					Args: spanArgs(s),
+				})
+			}
+		}
+		t.mu.Unlock()
+	}
+	if m != nil {
+		m.emitCounters(ew)
+	}
+	ew.end()
+	return ew.err
+}
+
+// spanArgs builds the args payload for a span's trace event.
+func spanArgs(s *Span) map[string]any {
+	args := make(map[string]any)
+	if s.Parent != 0 {
+		args["parent"] = s.Parent
+	}
+	if s.Source != "" {
+		args["source"] = s.Source
+	}
+	if len(s.Nodes) > 0 {
+		args["nodes"] = s.Nodes
+	}
+	if s.Rows != 0 {
+		args["rows"] = s.Rows
+	}
+	if s.Bytes != 0 {
+		args["bytes"] = s.Bytes
+	}
+	if s.NParts > 0 {
+		args["partition"] = fmt.Sprintf("%d/%d", s.Part, s.NParts)
+	}
+	for _, a := range s.Attrs {
+		if a.S != "" {
+			args[a.Key] = a.S
+		} else {
+			args[a.Key] = a.I
+		}
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// eventWriter streams the traceEvents array with one event per line.
+type eventWriter struct {
+	w     io.Writer
+	err   error
+	first bool
+}
+
+func (ew *eventWriter) begin() {
+	ew.first = true
+	ew.write([]byte("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"))
+}
+
+func (ew *eventWriter) end() {
+	ew.write([]byte("\n]}\n"))
+}
+
+func (ew *eventWriter) emit(ev traceEvent) {
+	if ew.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		ew.err = err
+		return
+	}
+	if !ew.first {
+		ew.write([]byte(",\n"))
+	}
+	ew.first = false
+	ew.write(b)
+}
+
+func (ew *eventWriter) write(b []byte) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = ew.w.Write(b)
+}
+
+// ndSpan is the NDJSON projection of a span: flat, self-describing, stable
+// field order.
+type ndSpan struct {
+	Type    string `json:"type"`
+	Proc    int    `json:"proc"`
+	ProcN   string `json:"proc_name"`
+	Track   int    `json:"track"`
+	TrackN  string `json:"track_name"`
+	ID      int64  `json:"id"`
+	Parent  int64  `json:"parent,omitempty"`
+	Cat     string `json:"cat"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Source  string `json:"source,omitempty"`
+	Nodes   []int  `json:"nodes,omitempty"`
+	Rows    int64  `json:"rows,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Part    string `json:"part,omitempty"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// WriteNDJSON writes one JSON object per span, one per line, in deterministic
+// order (procs in registration order, spans in record order) — the
+// grep/jq-friendly counterpart of WriteChrome.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.procs {
+		for _, s := range p.spans {
+			ns := ndSpan{
+				Type: "span", Proc: p.id, ProcN: p.name,
+				Track: s.Track, TrackN: p.tracks[s.Track],
+				ID: s.ID, Parent: s.Parent, Cat: s.Cat, Name: s.Name,
+				StartNS: s.Start, DurNS: s.Dur,
+				Source: s.Source, Nodes: s.Nodes, Rows: s.Rows, Bytes: s.Bytes,
+				Attrs: s.Attrs,
+			}
+			if s.NParts > 0 {
+				ns.Part = strconv.Itoa(s.Part) + "/" + strconv.Itoa(s.NParts)
+			}
+			b, err := json.Marshal(ns)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(append(b, '\n')); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// defaultSampleEveryNS is the virtual-time resolution of the counter time
+// series sampled through the sim.ChargeObserver hook: at most one sample per
+// 10 virtual milliseconds per proc.
+const defaultSampleEveryNS = 10_000_000
+
+// defaultWatch is the counter set sampled into each proc's time series.
+func defaultWatch() []sim.Counter {
+	return []sim.Counter{
+		sim.CtrServerPages,
+		sim.CtrRowsTransmitted,
+		sim.CtrFileRowsWritten,
+		sim.CtrFileRowsRead,
+		sim.CtrMemRowsRead,
+		sim.CtrCCUpdates,
+		sim.CtrSQLStatements,
+	}
+}
+
+// Metrics is the registry of per-proc derived metrics: batch statistics and
+// counter time series, all in virtual time.
+type Metrics struct {
+	mu    sync.Mutex
+	Procs []*ProcMetrics `json:"procs"`
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// NewProc registers a metrics domain for one meter and returns it. The
+// caller attaches the result to the meter with SetObserver to enable the
+// counter time series; batch stats arrive via AddBatch.
+func (m *Metrics) NewProc(id int, label string, meter *sim.Meter) *ProcMetrics {
+	if m == nil {
+		return nil
+	}
+	p := &ProcMetrics{
+		Proc:  id,
+		Label: label,
+		meter: meter,
+		watch: defaultWatch(),
+		every: defaultSampleEveryNS,
+	}
+	for _, c := range p.watch {
+		p.WatchNames = append(p.WatchNames, c.String())
+	}
+	m.mu.Lock()
+	m.Procs = append(m.Procs, p)
+	m.mu.Unlock()
+	return p
+}
+
+// Sample is one point of the counter time series: the cumulative values of
+// the watched counters (ordered as ProcMetrics.WatchNames) at virtual time
+// TNS.
+type Sample struct {
+	TNS  int64   `json:"t_ns"`
+	Vals []int64 `json:"vals"`
+}
+
+// LaneStat describes one worker lane of a parallel batch scan.
+type LaneStat struct {
+	Lane      int   `json:"lane"`       // 1-based lane index
+	ElapsedNS int64 `json:"elapsed_ns"` // lane virtual time (the max lane is the batch's critical path)
+	Rows      int64 `json:"rows"`       // rows the lane read from its partition
+}
+
+// BatchStats summarizes one middleware scheduling batch: what it serviced,
+// what every counter cost, how balanced the lanes were, and where the memory
+// and file budgets stood when it finished. The per-batch sequence doubles as
+// the staging-tier residency timeline: NodesServer/NodesFile/NodesMemory
+// count open nodes per tier at batch end.
+type BatchStats struct {
+	Batch   int    `json:"batch"` // 1-based batch ordinal
+	Source  string `json:"source"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+
+	NNodes        int   `json:"n_nodes"`     // nodes serviced by the scan
+	NFallbacks    int   `json:"n_fallbacks"` // nodes serviced by SQL fallback
+	NRequeued     int   `json:"n_requeued"`
+	NewFiles      int   `json:"new_files"`
+	StagedMemRows int64 `json:"staged_mem_rows"`
+
+	Lanes []LaneStat `json:"lanes,omitempty"`
+
+	// Deltas holds every counter that moved during the batch, by name.
+	Deltas map[string]int64 `json:"deltas,omitempty"`
+
+	// Budget utilization and tier residency at batch end.
+	MemUsedBytes   int64 `json:"mem_used_bytes"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+	FileUsedBytes  int64 `json:"file_used_bytes"`
+	FileBudget     int64 `json:"file_budget_bytes"`
+	FilesLive      int   `json:"files_live"`
+	NodesServer    int   `json:"nodes_server"`
+	NodesFile      int   `json:"nodes_file"`
+	NodesMemory    int   `json:"nodes_memory"`
+}
+
+// LaneImbalanceNS returns max(lane elapsed) - min(lane elapsed): the virtual
+// time the fastest worker idled at the join barrier. Zero for serial batches.
+func (b *BatchStats) LaneImbalanceNS() int64 {
+	if len(b.Lanes) < 2 {
+		return 0
+	}
+	min, max := b.Lanes[0].ElapsedNS, b.Lanes[0].ElapsedNS
+	for _, l := range b.Lanes[1:] {
+		if l.ElapsedNS < min {
+			min = l.ElapsedNS
+		}
+		if l.ElapsedNS > max {
+			max = l.ElapsedNS
+		}
+	}
+	return max - min
+}
+
+// ProcMetrics is one virtual-clock domain's worth of metrics. It implements
+// sim.ChargeObserver: attach it with Meter.SetObserver to sample the counter
+// time series. All methods are nil-receiver safe so instrumented code can
+// call straight through when metrics are disabled.
+type ProcMetrics struct {
+	Proc       int          `json:"proc"`
+	Label      string       `json:"label"`
+	WatchNames []string     `json:"watch"`
+	Samples    []Sample     `json:"samples,omitempty"`
+	Batches    []BatchStats `json:"batches,omitempty"`
+
+	meter      *sim.Meter
+	watch      []sim.Counter
+	every      int64
+	lastSample int64
+	haveSample bool
+}
+
+// ObserveCharge implements sim.ChargeObserver: it samples the watched
+// counters' cumulative values, throttled to one sample per `every` virtual
+// ns. Pure reader — it never charges the meter.
+func (p *ProcMetrics) ObserveCharge(_ sim.Counter, _, _, nowNS int64) {
+	if p == nil {
+		return
+	}
+	if p.haveSample && nowNS-p.lastSample < p.every {
+		return
+	}
+	vals := make([]int64, len(p.watch))
+	for i, c := range p.watch {
+		vals[i] = p.meter.Count(c)
+	}
+	p.Samples = append(p.Samples, Sample{TNS: nowNS, Vals: vals})
+	p.lastSample = nowNS
+	p.haveSample = true
+}
+
+// AddBatch records one batch's statistics.
+func (p *ProcMetrics) AddBatch(b BatchStats) {
+	if p == nil {
+		return
+	}
+	p.Batches = append(p.Batches, b)
+}
+
+// MaxLaneImbalanceNS returns the largest lane imbalance across all batches.
+func (p *ProcMetrics) MaxLaneImbalanceNS() int64 {
+	if p == nil {
+		return 0
+	}
+	var max int64
+	for i := range p.Batches {
+		if d := p.Batches[i].LaneImbalanceNS(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WriteJSON writes the whole registry as indented JSON. Struct field order
+// and sorted map keys make the output byte-deterministic.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Summary renders a short human-readable digest: per proc, the batch count
+// by source tier, fallback and requeue totals, peak budget utilization and
+// the worst lane imbalance.
+func (m *Metrics) Summary() string {
+	if m == nil {
+		return ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := ""
+	for _, p := range m.Procs {
+		bySource := map[string]int{}
+		falls, reqs := 0, 0
+		var peakMem, peakFile int64
+		var endNS int64
+		for i := range p.Batches {
+			b := &p.Batches[i]
+			bySource[b.Source]++
+			falls += b.NFallbacks
+			reqs += b.NRequeued
+			if b.MemUsedBytes > peakMem {
+				peakMem = b.MemUsedBytes
+			}
+			if b.FileUsedBytes > peakFile {
+				peakFile = b.FileUsedBytes
+			}
+			if b.EndNS > endNS {
+				endNS = b.EndNS
+			}
+		}
+		out += fmt.Sprintf(
+			"proc %d %q: %d batches (server=%d file=%d memory=%d), %d fallback nodes, %d requeues, peak mem %d B, peak file %d B, max lane imbalance %d ns, end t=%d ns\n",
+			p.Proc, p.Label, len(p.Batches),
+			bySource["server"], bySource["file"], bySource["memory"],
+			falls, reqs, peakMem, peakFile, p.MaxLaneImbalanceNS(), endNS)
+	}
+	return out
+}
+
+// emitCounters streams the metrics as Chrome counter ("C") events: the
+// watched counter series plus per-batch budget utilization and tier
+// residency, one counter track per series.
+func (m *Metrics) emitCounters(ew *eventWriter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.Procs {
+		for _, s := range p.Samples {
+			for i, name := range p.WatchNames {
+				ew.emit(traceEvent{
+					Name: name, Ph: "C", Ts: usec(s.TNS), Pid: p.Proc,
+					Args: map[string]any{"value": s.Vals[i]},
+				})
+			}
+		}
+		for i := range p.Batches {
+			b := &p.Batches[i]
+			ts := usec(b.EndNS)
+			ew.emit(traceEvent{
+				Name: "mem_used_bytes", Ph: "C", Ts: ts, Pid: p.Proc,
+				Args: map[string]any{"value": b.MemUsedBytes},
+			})
+			ew.emit(traceEvent{
+				Name: "file_used_bytes", Ph: "C", Ts: ts, Pid: p.Proc,
+				Args: map[string]any{"value": b.FileUsedBytes},
+			})
+			ew.emit(traceEvent{
+				Name: "files_live", Ph: "C", Ts: ts, Pid: p.Proc,
+				Args: map[string]any{"value": b.FilesLive},
+			})
+			ew.emit(traceEvent{
+				Name: "tier_residency", Ph: "C", Ts: ts, Pid: p.Proc,
+				Args: map[string]any{
+					"server": b.NodesServer,
+					"file":   b.NodesFile,
+					"memory": b.NodesMemory,
+				},
+			})
+		}
+	}
+}

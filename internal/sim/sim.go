@@ -93,44 +93,53 @@ type Counter int
 
 // The counters tracked by a Meter.
 const (
-	CtrServerScans     Counter = iota // server cursor scans initiated
-	CtrServerPages                    // server pages read
-	CtrServerRows                     // rows evaluated at the server
-	CtrRowsTransmitted                // rows shipped server -> middleware
-	CtrSQLStatements                  // SQL statements executed
-	CtrSQLAggRows                     // rows aggregated server-side
-	CtrIndexProbes                    // index probes
-	CtrTIDFetches                     // record fetches by TID
-	CtrFileRowsWritten                // rows written to middleware files
-	CtrFileRowsRead                   // rows read from middleware files
-	CtrFilesCreated                   // middleware staging files created
-	CtrMemRowsRead                    // rows read from middleware memory
-	CtrCCUpdates                      // counts-table updates
-	CtrClientRows                     // rows materialized at the client
-	CtrBatches                        // middleware scheduling batches executed
-	CtrSQLFallbacks                   // nodes serviced by the SQL fallback path
-	CtrShardMergeEntries              // CC shard entries folded into merged node tables
+	CtrServerScans       Counter = iota // server cursor scans initiated
+	CtrServerPages                      // server pages read
+	CtrServerRows                       // rows evaluated at the server
+	CtrRowsTransmitted                  // rows shipped server -> middleware
+	CtrSQLStatements                    // SQL statements executed
+	CtrSQLAggRows                       // rows aggregated server-side
+	CtrIndexProbes                      // index probes
+	CtrTIDFetches                       // record fetches by TID
+	CtrFileRowsWritten                  // rows written to middleware files
+	CtrFileRowsRead                     // rows read from middleware files
+	CtrFilesCreated                     // middleware staging files created
+	CtrMemRowsRead                      // rows read from middleware memory
+	CtrCCUpdates                        // counts-table updates
+	CtrClientRows                       // rows materialized at the client
+	CtrBatches                          // middleware scheduling batches executed
+	CtrSQLFallbacks                     // nodes serviced by the SQL fallback path
+	CtrShardMergeEntries                // CC shard entries folded into merged node tables
 	numCounters
 )
 
 var counterNames = [...]string{
-	CtrServerScans:     "server_scans",
-	CtrServerPages:     "server_pages_read",
-	CtrServerRows:      "server_rows_evaluated",
-	CtrRowsTransmitted: "rows_transmitted",
-	CtrSQLStatements:   "sql_statements",
-	CtrSQLAggRows:      "sql_agg_rows",
-	CtrIndexProbes:     "index_probes",
-	CtrTIDFetches:      "tid_fetches",
-	CtrFileRowsWritten: "file_rows_written",
-	CtrFileRowsRead:    "file_rows_read",
-	CtrFilesCreated:    "files_created",
-	CtrMemRowsRead:     "mem_rows_read",
-	CtrCCUpdates:       "cc_updates",
-	CtrClientRows:      "client_rows_loaded",
+	CtrServerScans:       "server_scans",
+	CtrServerPages:       "server_pages_read",
+	CtrServerRows:        "server_rows_evaluated",
+	CtrRowsTransmitted:   "rows_transmitted",
+	CtrSQLStatements:     "sql_statements",
+	CtrSQLAggRows:        "sql_agg_rows",
+	CtrIndexProbes:       "index_probes",
+	CtrTIDFetches:        "tid_fetches",
+	CtrFileRowsWritten:   "file_rows_written",
+	CtrFileRowsRead:      "file_rows_read",
+	CtrFilesCreated:      "files_created",
+	CtrMemRowsRead:       "mem_rows_read",
+	CtrCCUpdates:         "cc_updates",
+	CtrClientRows:        "client_rows_loaded",
 	CtrBatches:           "mw_batches",
 	CtrSQLFallbacks:      "sql_fallbacks",
 	CtrShardMergeEntries: "shard_merge_entries",
+}
+
+// Counters returns every counter in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for c := Counter(0); c < numCounters; c++ {
+		out[c] = c
+	}
+	return out
 }
 
 // String returns the snake_case name of the counter.
@@ -139,6 +148,18 @@ func (c Counter) String() string {
 		return fmt.Sprintf("counter(%d)", int(c))
 	}
 	return counterNames[c]
+}
+
+// ChargeObserver receives a callback after every Charge on an observed
+// Meter. Observers are pure readers: they run after the clock and counter
+// have been updated and must not charge the meter (directly or indirectly),
+// so attaching one can never perturb a simulated result. The metrics layer
+// (internal/obs) uses this hook to sample counter time series against the
+// virtual clock.
+type ChargeObserver interface {
+	// ObserveCharge reports one accounting event: counter c advanced by n to
+	// the cumulative value total, with the virtual clock now at nowNS.
+	ObserveCharge(c Counter, n, total, nowNS int64)
 }
 
 // Meter is a virtual clock plus operation counters. The zero value is not
@@ -152,6 +173,7 @@ type Meter struct {
 	costs  Costs
 	now    int64 // virtual nanoseconds since start
 	counts [numCounters]int64
+	obs    ChargeObserver
 }
 
 // NewMeter returns a Meter using the given cost model.
@@ -176,14 +198,24 @@ func (m *Meter) Advance(d int64) {
 
 // Charge advances the clock by n times the unit cost and increments the
 // counter by n. It is the single point through which all simulated work is
-// accounted.
+// accounted. With no observer attached the only overhead over the raw
+// arithmetic is one nil check — zero allocations (the disabled-observability
+// hot path; asserted by TestChargeNilObserverAllocs).
 func (m *Meter) Charge(c Counter, unitCost int64, n int64) {
 	if n < 0 {
 		panic("sim: negative charge count")
 	}
 	m.counts[c] += n
 	m.now += unitCost * n
+	if m.obs != nil {
+		m.obs.ObserveCharge(c, n, m.counts[c], m.now)
+	}
 }
+
+// SetObserver attaches (or, with nil, detaches) a charge observer. Lane
+// meters created by Fork never inherit the observer: their work surfaces on
+// the parent as deltas when Join folds them back.
+func (m *Meter) SetObserver(o ChargeObserver) { m.obs = o }
 
 // Count returns the current value of a counter.
 func (m *Meter) Count(c Counter) int64 { return m.counts[c] }
@@ -216,15 +248,26 @@ func (m *Meter) Fork(n int) []*Meter {
 // charged by the caller on the parent after Join.
 func (m *Meter) Join(lanes []*Meter) {
 	var max int64
+	var deltas [numCounters]int64
 	for _, l := range lanes {
 		for i := range l.counts {
-			m.counts[i] += l.counts[i]
+			deltas[i] += l.counts[i]
 		}
 		if l.now > max {
 			max = l.now
 		}
 	}
+	for i := range deltas {
+		m.counts[i] += deltas[i]
+	}
 	m.now += max
+	if m.obs != nil {
+		for i, d := range deltas {
+			if d != 0 {
+				m.obs.ObserveCharge(Counter(i), d, m.counts[i], m.now)
+			}
+		}
+	}
 }
 
 // Reset zeroes the clock and all counters, keeping the cost model.
@@ -257,6 +300,18 @@ func (m *Meter) Since(s Snapshot) time.Duration { return m.Now() - s.Now }
 // CountSince returns the counter delta since the snapshot was taken.
 func (m *Meter) CountSince(s Snapshot, c Counter) int64 {
 	return m.counts[c] - s.Counts[c]
+}
+
+// CountersSince returns every non-zero counter delta since the snapshot was
+// taken, keyed by counter.
+func (m *Meter) CountersSince(s Snapshot) map[Counter]int64 {
+	out := make(map[Counter]int64)
+	for c := Counter(0); c < numCounters; c++ {
+		if d := m.counts[c] - s.Counts[c]; d != 0 {
+			out[c] = d
+		}
+	}
+	return out
 }
 
 // String renders the non-zero counters, sorted by name, plus the clock.
