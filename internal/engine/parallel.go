@@ -1,0 +1,403 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/obs"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// This file is the engine side of the multi-worker pipeline: partitioned
+// construction of the §4.3.3 auxiliary structures, partitioned cursors over
+// keysets and TID tables, and the per-arm execution primitive the parallel
+// SQL fallback fans out over. The determinism rules match OpenScanPartition:
+// workers read the immutable heap directly (never the shared LRU buffer
+// pool), charge only their private lane meter, and record spans only on
+// their private lane tracer, so every lane's outcome is a pure function of
+// its partition and the folded result is bit-for-bit reproducible across
+// GOMAXPROCS and goroutine interleavings.
+
+// scanHeapPartition drives partition part of nparts of the table's heap
+// through fn under the cold-scan cost model: one ServerPageIO per page
+// holding records, ServerRowCPU per decoded row, all charged to lane.
+func (s *Server) scanHeapPartition(part, nparts int, lane *sim.Meter, fn func(tid storage.TID, row data.Row)) {
+	h := s.table.heap
+	ncols := len(s.table.Cols)
+	costs := lane.Costs()
+	np := h.NumPages()
+	lo := storage.PageID(part * np / nparts)
+	hi := storage.PageID((part + 1) * np / nparts)
+	var row data.Row
+	for p := lo; p < hi; p++ {
+		for slot := uint16(0); ; slot++ {
+			rec, ok := heapRecord(h, p, slot)
+			if !ok {
+				break
+			}
+			if slot == 0 {
+				lane.Charge(sim.CtrServerPages, costs.ServerPageIO, 1)
+			}
+			row = data.DecodeRow(rec, ncols, row)
+			lane.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+			fn(storage.TID{Page: p, Slot: slot}, row)
+		}
+	}
+}
+
+// auxWorkers clamps a requested aux-build worker count to the table's page
+// count (each worker needs at least one page) and collapses to the serial
+// path below two.
+func (s *Server) auxWorkers(n int) int {
+	if np := s.table.NumPages(); np < n {
+		n = np
+	}
+	if n < 2 {
+		return 1
+	}
+	return n
+}
+
+// laneTracer indexes a ForkLanes result, tolerating the nil slice a nil
+// tracer produces.
+func laneTracer(ltrs []*obs.Tracer, i int) *obs.Tracer {
+	if ltrs == nil {
+		return nil
+	}
+	return ltrs[i]
+}
+
+// OpenKeysetParallel is OpenKeyset with the qualifying scan partitioned over
+// nworkers page ranges: each worker captures the TIDs of its own range on a
+// forked lane meter, and the shards concatenate in partition order — TIDs
+// ascend within a partition and partitions tile the heap in order, so the
+// combined keyset is identical to the sequential scan's. nworkers <= 1 (or a
+// table too small to split) delegates to the serial builder.
+func (s *Server) OpenKeysetParallel(f predicate.Filter, nworkers int) *Keyset {
+	nworkers = s.auxWorkers(nworkers)
+	if nworkers < 2 {
+		return s.OpenKeyset(f)
+	}
+	tr := s.eng.tracer
+	sp := tr.Start(obs.CatAux, "keyset-build").Attr("workers", int64(nworkers))
+	lanes := s.meter.Fork(nworkers)
+	ltrs := tr.ForkLanes(lanes)
+	shards := make([][]storage.TID, nworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(part int, lane *sim.Meter, ltr *obs.Tracer) {
+			defer wg.Done()
+			psp := ltr.Start(obs.CatAux, "keyset-partition").SetPartition(part, nworkers)
+			lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
+			var tids []storage.TID
+			s.scanHeapPartition(part, nworkers, lane, func(tid storage.TID, row data.Row) {
+				if f.Eval(row) {
+					tids = append(tids, tid)
+				}
+			})
+			shards[part] = tids
+			psp.SetRows(int64(len(tids))).End()
+		}(w, lanes[w], laneTracer(ltrs, w))
+	}
+	wg.Wait()
+	s.meter.Join(lanes)
+	tr.JoinLanes(ltrs)
+	ks := &Keyset{s: s}
+	for _, sh := range shards {
+		ks.tids = append(ks.tids, sh...)
+	}
+	sp.SetRows(int64(len(ks.tids))).End()
+	return ks
+}
+
+// CopyTIDsParallel is CopyTIDs with the qualifying scan partitioned over
+// nworkers page ranges. Each worker charges one server row-write per TID it
+// captures (the copy into the server-side TID table), exactly as the serial
+// builder does, and shards concatenate in partition order.
+func (s *Server) CopyTIDsParallel(f predicate.Filter, nworkers int) *TIDTable {
+	nworkers = s.auxWorkers(nworkers)
+	if nworkers < 2 {
+		return s.CopyTIDs(f)
+	}
+	tr := s.eng.tracer
+	sp := tr.Start(obs.CatAux, "tid-table-build").Attr("workers", int64(nworkers))
+	lanes := s.meter.Fork(nworkers)
+	ltrs := tr.ForkLanes(lanes)
+	shards := make([][]storage.TID, nworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(part int, lane *sim.Meter, ltr *obs.Tracer) {
+			defer wg.Done()
+			psp := ltr.Start(obs.CatAux, "tid-table-partition").SetPartition(part, nworkers)
+			costs := lane.Costs()
+			lane.Charge(sim.CtrServerScans, costs.CursorOpen, 1)
+			var tids []storage.TID
+			s.scanHeapPartition(part, nworkers, lane, func(tid storage.TID, row data.Row) {
+				if f.Eval(row) {
+					tids = append(tids, tid)
+					lane.Charge(sim.CtrServerRows, costs.ServerRowWrite, 1)
+				}
+			})
+			shards[part] = tids
+			psp.SetRows(int64(len(tids))).End()
+		}(w, lanes[w], laneTracer(ltrs, w))
+	}
+	wg.Wait()
+	s.meter.Join(lanes)
+	tr.JoinLanes(ltrs)
+	tt := &TIDTable{s: s}
+	for _, sh := range shards {
+		tt.tids = append(tt.tids, sh...)
+	}
+	sp.SetRows(int64(len(tt.tids))).End()
+	return tt
+}
+
+// CopySubsetParallel is CopySubset with the qualifying scan partitioned over
+// nworkers page ranges. Workers collect matching rows into private buffers,
+// charging one server row-write per copied row on their lane; after the
+// barrier the coordinator appends the buffers to the temp table in partition
+// order (the physical bulk append — its costs were already charged in the
+// lanes), so the temp table's heap order equals the sequential copy's.
+func (s *Server) CopySubsetParallel(f predicate.Filter, nworkers int) (*Server, error) {
+	nworkers = s.auxWorkers(nworkers)
+	if nworkers < 2 {
+		return s.CopySubset(f)
+	}
+	name := s.eng.tempName()
+	t, err := s.eng.CreateTable(name, s.table.Cols)
+	if err != nil {
+		return nil, err
+	}
+	t.temp = true
+	tr := s.eng.tracer
+	sp := tr.Start(obs.CatAux, "copy-subset").Attr("workers", int64(nworkers))
+	lanes := s.meter.Fork(nworkers)
+	ltrs := tr.ForkLanes(lanes)
+	shards := make([][]data.Row, nworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(part int, lane *sim.Meter, ltr *obs.Tracer) {
+			defer wg.Done()
+			psp := ltr.Start(obs.CatAux, "copy-subset-partition").SetPartition(part, nworkers)
+			costs := lane.Costs()
+			lane.Charge(sim.CtrServerScans, costs.CursorOpen, 1)
+			var rows []data.Row
+			s.scanHeapPartition(part, nworkers, lane, func(_ storage.TID, row data.Row) {
+				if f.Eval(row) {
+					rows = append(rows, row.Clone())
+					lane.Charge(sim.CtrServerRows, costs.ServerRowWrite, 1)
+				}
+			})
+			shards[part] = rows
+			psp.SetRows(int64(len(rows))).End()
+		}(w, lanes[w], laneTracer(ltrs, w))
+	}
+	wg.Wait()
+	s.meter.Join(lanes)
+	tr.JoinLanes(ltrs)
+	for _, sh := range shards {
+		if err := s.eng.BulkLoad(t, sh); err != nil {
+			sp.End()
+			return nil, err
+		}
+	}
+	sp.SetRows(t.NumRows()).End()
+	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t}, nil
+}
+
+// OpenScanPartition re-scans one contiguous partition of the keyset:
+// TIDs [part*n/nparts, (part+1)*n/nparts), so the partitions tile the keyset
+// in capture order. All costs charge to lane. Like the heap partition
+// cursors, fetches bypass the shared buffer pool (its LRU state would make
+// accounting depend on lane interleaving) and charge the amortized random-I/O
+// TIDFetch cost per record against the immutable heap.
+func (k *Keyset) OpenScanPartition(sproc *predicate.Filter, part, nparts int, lane *sim.Meter) Cursor {
+	if part < 0 || nparts < 1 || part >= nparts {
+		panic(fmt.Sprintf("engine: invalid keyset partition %d of %d", part, nparts))
+	}
+	if lane == nil {
+		lane = k.s.meter
+	}
+	lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
+	n := len(k.tids)
+	return &keysetPartCursor{
+		k: k, sproc: sproc, lane: lane,
+		i: part * n / nparts, end: (part + 1) * n / nparts,
+	}
+}
+
+// keysetPartCursor is a keysetCursor restricted to a TID range, charging a
+// dedicated lane meter and fetching records straight from the heap.
+type keysetPartCursor struct {
+	k      *Keyset
+	sproc  *predicate.Filter
+	lane   *sim.Meter
+	i, end int
+	row    data.Row
+	closed bool
+}
+
+func (c *keysetPartCursor) Next() (data.Row, bool) {
+	if c.closed {
+		return nil, false
+	}
+	s := c.k.s
+	h := s.table.heap
+	ncols := len(s.table.Cols)
+	costs := c.lane.Costs()
+	for c.i < c.end {
+		tid := c.k.tids[c.i]
+		c.i++
+		rec, ok := heapRecord(h, tid.Page, tid.Slot)
+		if !ok {
+			panic(fmt.Sprintf("engine: keyset partition fetch: no record at %v", tid))
+		}
+		c.lane.Charge(sim.CtrTIDFetches, costs.TIDFetch, 1)
+		c.row = data.DecodeRow(rec, ncols, c.row)
+		if c.sproc != nil {
+			c.lane.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+			if !c.sproc.Eval(c.row) {
+				continue
+			}
+		}
+		c.lane.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+		return c.row, true
+	}
+	return nil, false
+}
+
+func (c *keysetPartCursor) Close() { c.closed = true }
+
+// OpenJoinPartition retrieves one contiguous partition of the TID table via
+// a TID join, applying filter server-side and charging all costs to lane.
+// Partitions tile the TID table in capture order; fetches use the same
+// pool-bypassing model as OpenScanPartition on the keyset.
+func (t *TIDTable) OpenJoinPartition(filter predicate.Filter, part, nparts int, lane *sim.Meter) Cursor {
+	if part < 0 || nparts < 1 || part >= nparts {
+		panic(fmt.Sprintf("engine: invalid TID-join partition %d of %d", part, nparts))
+	}
+	if lane == nil {
+		lane = t.s.meter
+	}
+	lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
+	n := len(t.tids)
+	return &tidJoinPartCursor{
+		t: t, filter: filter, lane: lane,
+		i: part * n / nparts, end: (part + 1) * n / nparts,
+	}
+}
+
+// tidJoinPartCursor is a tidJoinCursor restricted to a TID range, charging a
+// dedicated lane meter and fetching records straight from the heap.
+type tidJoinPartCursor struct {
+	t      *TIDTable
+	filter predicate.Filter
+	lane   *sim.Meter
+	i, end int
+	row    data.Row
+	closed bool
+}
+
+func (c *tidJoinPartCursor) Next() (data.Row, bool) {
+	if c.closed {
+		return nil, false
+	}
+	s := c.t.s
+	h := s.table.heap
+	ncols := len(s.table.Cols)
+	costs := c.lane.Costs()
+	for c.i < c.end {
+		tid := c.t.tids[c.i]
+		c.i++
+		c.lane.Charge(sim.CtrIndexProbes, costs.IndexProbe, 1)
+		rec, ok := heapRecord(h, tid.Page, tid.Slot)
+		if !ok {
+			panic(fmt.Sprintf("engine: TID-join partition fetch: no record at %v", tid))
+		}
+		c.lane.Charge(sim.CtrTIDFetches, costs.TIDFetch, 1)
+		c.row = data.DecodeRow(rec, ncols, c.row)
+		c.lane.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+		if !c.filter.Eval(c.row) {
+			continue
+		}
+		c.lane.Charge(sim.CtrRowsTransmitted, costs.RowTransmit, 1)
+		return c.row, true
+	}
+	return nil, false
+}
+
+func (c *tidJoinPartCursor) Close() { c.closed = true }
+
+// WarmTable reports whether arm scans of the table run against a resident
+// buffer pool, faulting the table in if needed. When the table fits the
+// pool, one sequential prefetch on the server meter makes every page
+// resident — the same pages, charges and LRU state a serial statement's
+// first scan would produce, and pages already resident from earlier
+// statements cost nothing. When the table exceeds the pool a sequential
+// scan floods the LRU and every later scan re-pays full disk I/O (the
+// paper's target regime), so there is nothing to warm and arm scans must
+// model cold reads like the serial UNION's arms do.
+func (s *Server) WarmTable() bool {
+	h := s.table.heap
+	np := h.NumPages()
+	if np > s.eng.bp.Capacity() {
+		return false
+	}
+	for p := 0; p < np; p++ {
+		s.eng.bp.TouchForScan(h, storage.PageID(p))
+	}
+	return true
+}
+
+// CountsArmScan executes one GROUP BY arm of a §2.3 counts query on a
+// private lane: a full scan evaluating the pushed-down path filter and one
+// aggregation step per qualifying row, which is handed to fn. The caller
+// maintains the groups (the arm's counts shard), charges RowTransmit per
+// resulting group row, and charges the per-statement QueryStartup once per
+// request on its own meter — the middleware still issues one UNION statement
+// per request; the server merely executes its arms on parallel CPUs
+// (intra-query parallelism), so no per-arm startup exists.
+//
+// The engine's serial UNION execution performs one scan per arm too (the
+// optimizer does not share scans across arms), through the shared buffer
+// pool. warm — typically the result of a parent-side WarmTable call — says
+// whether the pool holds the whole table: warm arms read resident pages for
+// free, exactly like serial arms of a pool-resident table, while cold arms
+// (table larger than the pool, where every serial scan re-faults each page)
+// pay ServerPageIO per page. Row CPU and aggregation costs are always
+// charged. Lanes never touch the pool itself, so concurrent arm scans stay
+// race-free and deterministic.
+func (s *Server) CountsArmScan(f predicate.Filter, lane *sim.Meter, warm bool, fn func(data.Row)) {
+	if lane == nil {
+		lane = s.meter
+	}
+	costs := lane.Costs()
+	h := s.table.heap
+	ncols := len(s.table.Cols)
+	np := h.NumPages()
+	var row data.Row
+	for p := storage.PageID(0); p < storage.PageID(np); p++ {
+		for slot := uint16(0); ; slot++ {
+			rec, ok := heapRecord(h, p, slot)
+			if !ok {
+				break
+			}
+			if slot == 0 && !warm {
+				lane.Charge(sim.CtrServerPages, costs.ServerPageIO, 1)
+			}
+			row = data.DecodeRow(rec, ncols, row)
+			lane.Charge(sim.CtrServerRows, costs.ServerRowCPU, 1)
+			if f.Eval(row) {
+				lane.Charge(sim.CtrSQLAggRows, costs.SQLAggRow, 1)
+				fn(row)
+			}
+		}
+	}
+}

@@ -201,7 +201,13 @@ var checks = map[string]func(*Experiment) error{
 			one := s.Points[0].Seconds
 			for _, p := range s.Points[1:] {
 				if p.X > 4 {
-					continue // 8 workers may flatten against serial fractions
+					// 8 workers may flatten against serial fractions but
+					// must never regress below sequential.
+					if p.Seconds > one {
+						return fmt.Errorf("%s: %g workers (%.3fs) slower than 1 worker (%.3fs)",
+							s.Name, p.X, p.Seconds, one)
+					}
+					continue
 				}
 				if p.Seconds >= one {
 					return fmt.Errorf("%s: %g workers (%.3fs) not faster than 1 worker (%.3fs)",

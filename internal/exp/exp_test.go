@@ -164,8 +164,8 @@ func TestScalingWorkersTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.Series) != 2 {
-		t.Fatalf("got %d series, want 2", len(e.Series))
+	if len(e.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(e.Series))
 	}
 	for _, s := range e.Series {
 		if len(s.Points) != 4 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cc"
 	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/dtree"
@@ -41,12 +42,15 @@ func buildTreeRules(env *Env, ds *data.Dataset, mcfg mw.Config, opt dtree.Option
 }
 
 // ScalingWorkers measures the parallel batched-scan pipeline: full
-// census-workload tree builds at 1, 2, 4 and 8 scan workers, without staging
-// (every batch scans the server) and with full file+memory staging. The
-// deterministic parallel cost model should cut virtual build time as workers
-// grow — scan-dominated phases divide across lanes while the serial
-// fractions (cursor opens, shard merges, SQL fallbacks) bound the speedup —
-// and the grown tree must be identical at every worker count.
+// census-workload tree builds at 1, 2, 4 and 8 scan workers, across four
+// arms — no staging (every batch scans the server), full file+memory
+// staging, a fallback-only arm (a CC budget below every estimate pushes each
+// node to the SQL fallback, whose per-attribute GROUP BY arms fan over
+// lanes), and the keyset access path (partitioned keyset builds and
+// re-scans). The deterministic parallel cost model should cut virtual build
+// time as workers grow — scan-dominated phases divide across lanes while
+// the serial fractions (cursor opens, shard merges) bound the speedup — and
+// the grown tree must be identical at every worker count.
 func ScalingWorkers(env *Env, scale float64) (*Experiment, error) {
 	ds, err := datagen.GenerateCensus(datagen.CensusConfig{Rows: scaled(20000, scale), Seed: 7})
 	if err != nil {
@@ -60,11 +64,20 @@ func ScalingWorkers(env *Env, scale float64) (*Experiment, error) {
 		PaperShape: "virtual build time falls as scan workers are added (near-linear while " +
 			"scans dominate, flattening as serial fractions take over); the tree itself " +
 			"is identical at every worker count",
-		Series: []Series{{Name: "no staging"}, {Name: "file+memory"}},
+		Series: []Series{
+			{Name: "no staging"},
+			{Name: "file+memory"},
+			{Name: "sql-fallback"},
+			{Name: "keyset"},
+		},
 	}
 	configs := []mw.Config{
 		{Staging: mw.StageNone},
 		{Staging: mw.StageFileAndMemory, Memory: ds.Bytes() / 2},
+		// A budget below one CC entry admits nothing: every node is answered
+		// by the SQL fallback, isolating the parallel GROUP BY arms.
+		{Staging: mw.StageNone, Memory: cc.EntryBytes - 1},
+		{Staging: mw.StageNone, Access: mw.AccessKeyset, AuxThreshold: 0.6},
 	}
 	for si, base := range configs {
 		var refRules string

@@ -49,9 +49,14 @@ func (m *Middleware) Step() ([]*Result, error) {
 	defer bsp.End()
 
 	plan := m.planStaging(b)
-	for _, t := range plan.fileTees {
+	for i, t := range plan.fileTees {
 		w, err := m.files.create()
 		if err != nil {
+			// Abort the writers already created for this batch so no
+			// half-planned staging files stay open or on disk.
+			for _, prev := range plan.fileTees[:i] {
+				prev.writer.Abort()
+			}
 			return nil, err
 		}
 		t.writer = w
@@ -174,9 +179,9 @@ func (m *Middleware) Step() ([]*Result, error) {
 			scanSnap = m.meter.Snapshot()
 		}
 		var scanErr error
-		if nworkers, psrv := m.planParallel(b); nworkers > 1 {
+		if sp := m.planParallel(b, budget); sp.nworkers > 1 {
 			var pres *parallelScanResult
-			pres, scanErr = m.runScanParallel(b, plan, live, psrv, nworkers, budget)
+			pres, scanErr = m.runScanParallel(b, plan, live, sp, budget)
 			if scanErr == nil {
 				live = pres.live
 				ccBytes, teeBytes = pres.ccBytes, pres.teeBytes
@@ -208,6 +213,7 @@ func (m *Middleware) Step() ([]*Result, error) {
 			for _, t := range plan.fileTees {
 				t.writer.Abort()
 			}
+			ssp.End()
 			return nil, scanErr
 		}
 		if ssp != nil {
@@ -217,10 +223,16 @@ func (m *Middleware) Step() ([]*Result, error) {
 	}
 
 	// Finalize staging.
-	for _, t := range plan.fileTees {
+	for i, t := range plan.fileTees {
 		stsp := tr.Start(obs.CatStage, "stage-file").SetNodes(t.keyNodes)
 		sf, err := t.writer.Finish()
 		if err != nil {
+			stsp.End()
+			// Finish removed its own file; abort the remaining tees' writers
+			// so their files do not stay open and on disk unregistered.
+			for _, rest := range plan.fileTees[i+1:] {
+				rest.writer.Abort()
+			}
 			return nil, err
 		}
 		stsp.SetRows(sf.rows).SetBytes(sf.bytes).End()
@@ -267,18 +279,32 @@ func (m *Middleware) Step() ([]*Result, error) {
 		m.ccHold += w.cc.Bytes()
 		results = append(results, res)
 	}
-	for _, r := range fallback {
-		fsp := tr.Start(obs.CatFallback, "sql-fallback").Attr("node", int64(r.NodeID))
-		t, err := m.sqlCounts(r)
-		if err != nil {
-			return nil, err
+	if nfw := m.fallbackWorkers(fallback); nfw > 1 {
+		// Fan the fallback requests' GROUP BY arms out over forked lanes
+		// (see fallback_parallel.go); tables come back in request order.
+		tables := m.runFallbackParallel(fallback, nfw)
+		for i, r := range fallback {
+			t := tables[i]
+			m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
+			res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
+			m.open[r.NodeID] = res
+			m.ccHold += t.Bytes()
+			results = append(results, res)
 		}
-		m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
-		fsp.SetSource("sql").SetRows(t.Rows()).End()
-		res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
-		m.open[r.NodeID] = res
-		m.ccHold += t.Bytes()
-		results = append(results, res)
+	} else {
+		for _, r := range fallback {
+			fsp := tr.Start(obs.CatFallback, "sql-fallback").Attr("node", int64(r.NodeID))
+			t, err := m.sqlCounts(r)
+			if err != nil {
+				return nil, err
+			}
+			m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
+			fsp.SetSource("sql").SetRows(t.Rows()).End()
+			res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
+			m.open[r.NodeID] = res
+			m.ccHold += t.Bytes()
+			results = append(results, res)
+		}
 	}
 	// Requests shed mid-scan return to the queue for a later batch.
 	m.queue = append(m.queue, requeued...)

@@ -62,49 +62,80 @@ type workerShard struct {
 	err      error
 }
 
-// planParallel decides how many workers service the batch and, for server
-// batches, which server the partition cursors scan. It returns 1 whenever
+// scanPlan describes how a batch's scan fans out: the worker count plus, for
+// server batches, exactly one of the partitionable sources the lanes read —
+// a page-partitioned server scan (base table or copy-table), a partitioned
+// keyset re-scan, or a partitioned TID join. nworkers == 1 means the
+// sequential path runs and the source fields are nil.
+type scanPlan struct {
+	nworkers int
+	srv      *engine.Server
+	keyset   *engine.Keyset
+	tidTab   *engine.TIDTable
+}
+
+var seqScan = scanPlan{nworkers: 1}
+
+// planParallel decides how many workers service the batch and which
+// partitioned source the lanes scan. It returns the sequential plan whenever
 // the batch cannot or should not be partitioned: Workers <= 1, sources too
-// small to split, or the auxiliary keyset/TID-join access paths (§4.3.3),
-// which are inherently serial row streams.
-func (m *Middleware) planParallel(b *batch) (int, *engine.Server) {
+// small to split, or a scan-start budget so tight that the per-worker slice
+// would truncate to zero — with a zero slice every lane would shed every
+// request on its first counted row even though the sequential path, policing
+// the whole budget, can succeed.
+func (m *Middleware) planParallel(b *batch, budget int64) scanPlan {
 	w := m.cfg.Workers
 	if w <= 1 {
-		return 1, nil
+		return seqScan
 	}
+	plan := scanPlan{}
 	switch b.kind {
 	case srcMemory:
 		if n := len(b.stage.mem); n < w {
 			w = n
 		}
+		plan = scanPlan{nworkers: w}
 	case srcFile:
 		if n := b.stage.file.rows; n < int64(w) {
 			w = int(n)
 		}
+		plan = scanPlan{nworkers: w}
 	case srcServer:
 		// Resolve the auxiliary structure up front (the sequential path does
 		// this at scan start; a structure built here is found and reused by
-		// maybeBuildAux if the batch ends up running sequentially).
+		// maybeBuildAux if the batch ends up running sequentially). The
+		// builders themselves are partitioned — see maybeBuildAux.
 		aux := m.maybeBuildAux(b)
-		srv := m.srv
-		if aux != nil {
-			if aux.subSrv == nil {
-				return 1, nil // keyset / TID-join: sequential stream
+		switch {
+		case aux != nil && aux.keyset != nil:
+			if n := aux.keyset.Size(); n < w {
+				w = n
 			}
-			srv = aux.subSrv
+			plan = scanPlan{nworkers: w, keyset: aux.keyset}
+		case aux != nil && aux.tidTab != nil:
+			if n := aux.tidTab.Size(); n < w {
+				w = n
+			}
+			plan = scanPlan{nworkers: w, tidTab: aux.tidTab}
+		default:
+			srv := m.srv
+			if aux != nil && aux.subSrv != nil {
+				srv = aux.subSrv
+			}
+			if np := srv.NumPages(); np < w {
+				w = np
+			}
+			plan = scanPlan{nworkers: w, srv: srv}
 		}
-		if np := srv.NumPages(); np < w {
-			w = np
-		}
-		if w < 2 {
-			return 1, nil
-		}
-		return w, srv
+		plan.nworkers = w
 	}
-	if w < 2 {
-		return 1, nil
+	if plan.nworkers < 2 {
+		return seqScan
 	}
-	return w, nil
+	if budget/int64(plan.nworkers) == 0 {
+		return seqScan // zero per-worker budget slice
+	}
+	return plan
 }
 
 // runScanParallel executes the batch's scan with nworkers goroutines over
@@ -112,8 +143,11 @@ func (m *Middleware) planParallel(b *batch) (int, *engine.Server) {
 // is the memory ceiling captured at scan start; each worker polices a
 // 1/nworkers slice of it mid-scan, and Step re-checks the merged totals
 // against the full budget afterwards.
-func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, psrv *engine.Server, nworkers int, budget int64) (*parallelScanResult, error) {
+func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, sp scanPlan, budget int64) (*parallelScanResult, error) {
+	nworkers := sp.nworkers
 	lanes := m.meter.Fork(nworkers)
+	// planParallel guarantees budget >= nworkers, so the slice is >= 1 and a
+	// lane only sheds once it has actually accumulated state.
 	slice := budget / int64(nworkers)
 	rowMemBytes := int64(m.schema.RowBytes()) + memRowOverhead
 
@@ -146,7 +180,7 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 		go func(part int, sh *workerShard, lane *sim.Meter, ltr *obs.Tracer) {
 			defer wg.Done()
 			lsp := ltr.Start(obs.CatLane, "lane").SetPartition(part, nworkers)
-			sh.err = m.scanWorker(b, plan, live, psrv, part, nworkers, lane, sh, slice, rowMemBytes)
+			sh.err = m.scanWorker(b, plan, live, sp, part, nworkers, lane, sh, slice, rowMemBytes)
 			lsp.SetRows(laneRows(lane, b.kind)).End()
 		}(w, sh, lanes[w], ltr)
 	}
@@ -261,7 +295,7 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 // first by abandoning the worker's largest memory-tee buffer, then by
 // shedding the request with the largest local shard — because global
 // eviction would mutate shared middleware state mid-scan.
-func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, psrv *engine.Server, part, nparts int, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) error {
+func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, sp scanPlan, part, nparts int, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) error {
 	costs := lane.Costs()
 	var ccBytes, teeBytes int64
 
@@ -337,12 +371,15 @@ func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, psrv 
 			}
 		}
 	}
-	return m.scanPartition(b, psrv, part, nparts, lane, process)
+	return m.scanPartition(b, sp, part, nparts, lane, process)
 }
 
 // scanPartition drives every row of one partition of the batch's source
-// through process, charging all per-row costs to lane.
-func (m *Middleware) scanPartition(b *batch, psrv *engine.Server, part, nparts int, lane *sim.Meter, process func(data.Row)) error {
+// through process, charging all per-row costs to lane. Server batches scan
+// whichever partitioned source planParallel selected: a page range of the
+// base table or copy-table, a TID range of a keyset re-scan, or a TID range
+// of a TID join.
+func (m *Middleware) scanPartition(b *batch, sp scanPlan, part, nparts int, lane *sim.Meter, process func(data.Row)) error {
 	switch b.kind {
 	case srcMemory:
 		rows := b.stage.mem
@@ -366,7 +403,15 @@ func (m *Middleware) scanPartition(b *batch, psrv *engine.Server, part, nparts i
 			// transmitted and filtered middleware-side.
 			filter = predicate.MatchAll()
 		}
-		cur := psrv.OpenScanPartition(filter, part, nparts, lane)
+		var cur engine.Cursor
+		switch {
+		case sp.keyset != nil:
+			cur = sp.keyset.OpenScanPartition(&filter, part, nparts, lane)
+		case sp.tidTab != nil:
+			cur = sp.tidTab.OpenJoinPartition(filter, part, nparts, lane)
+		default:
+			cur = sp.srv.OpenScanPartition(filter, part, nparts, lane)
+		}
 		defer cur.Close()
 		for {
 			row, ok := cur.Next()

@@ -160,9 +160,12 @@ type Config struct {
 	// shards merge in partition order and the parent clock advances by the
 	// slowest lane (sim.Meter.Join), so results, staging contents and the
 	// virtual clock are bit-for-bit reproducible regardless of GOMAXPROCS or
-	// goroutine interleaving. Scans over the auxiliary keyset and TID-join
-	// structures (§4.3.3) are inherently serial row streams and fall back to
-	// one worker.
+	// goroutine interleaving. The same lane model covers every pipeline
+	// stage: the §4.3.3 auxiliary builds partition their qualifying scan,
+	// keyset and TID-join batches scan disjoint TID ranges per worker, and
+	// the SQL fallback fans each request's GROUP BY arms out over lanes.
+	// Only a scan whose per-worker budget slice would round down to zero
+	// falls back to one worker.
 	Workers int
 
 	// Ablation switches. Both default to off (= the paper's design) and

@@ -219,10 +219,11 @@ func TestRequeueBatchEmitsEvent(t *testing.T) {
 	}
 }
 
-// driveTreeObs runs a fixed two-level protocol with full observability
-// attached (tracer on the engine, metrics on the middleware) and returns the
-// Chrome trace, NDJSON trace and metrics JSON exports.
-func driveTreeObs(t *testing.T, workers int) (chrome, nd, metrics []byte) {
+// driveTreeObs runs a fixed two-level protocol under the given middleware
+// configuration with full observability attached (tracer on the engine,
+// metrics on the middleware) and returns the Chrome trace, NDJSON trace and
+// metrics JSON exports.
+func driveTreeObs(t *testing.T, cfg Config) (chrome, nd, metrics []byte) {
 	t.Helper()
 	ds := randDataset(1500, 3)
 	col := obs.NewCollector(true, true)
@@ -234,10 +235,9 @@ func driveTreeObs(t *testing.T, workers int) (chrome, nd, metrics []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := New(srv, Config{
-		Staging: StageFileAndMemory, Workers: workers,
-		Dir: t.TempDir(), Metrics: pm,
-	})
+	cfg.Dir = t.TempDir()
+	cfg.Metrics = pm
+	m, err := New(srv, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,10 +295,24 @@ func driveTreeObs(t *testing.T, workers int) (chrome, nd, metrics []byte) {
 // across GOMAXPROCS settings. (Traces at different worker counts legitimately
 // differ — the virtual clock does.)
 func TestObsByteDeterminism(t *testing.T) {
-	for _, workers := range []int{1, 2, 4} {
-		workers := workers
-		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			refChrome, refND, refMetrics := driveTreeObs(t, workers)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"staged/workers=1", Config{Staging: StageFileAndMemory, Workers: 1}},
+		{"staged/workers=2", Config{Staging: StageFileAndMemory, Workers: 2}},
+		{"staged/workers=4", Config{Staging: StageFileAndMemory, Workers: 4}},
+		// Fallback-only batches: a 10-entry budget admits nothing, so every
+		// request is serviced by the parallel SQL-fallback arms.
+		{"fallback/workers=4", Config{Staging: StageNone, Memory: 10 * cc.EntryBytes, Workers: 4}},
+		// Partitioned aux builds and partitioned keyset / TID-join scans.
+		{"keyset/workers=4", Config{Staging: StageNone, Access: AccessKeyset, AuxThreshold: 0.6, Workers: 4}},
+		{"tidjoin/workers=4", Config{Staging: StageNone, Access: AccessTIDJoin, AuxThreshold: 0.6, Workers: 4}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			refChrome, refND, refMetrics := driveTreeObs(t, tc.cfg)
 			if len(refND) == 0 {
 				t.Fatal("empty NDJSON trace")
 			}
@@ -307,7 +321,7 @@ func TestObsByteDeterminism(t *testing.T) {
 				old := runtime.GOMAXPROCS(procs)
 				for rep := 0; rep < 2; rep++ {
 					run++
-					chrome, nd, metrics := driveTreeObs(t, workers)
+					chrome, nd, metrics := driveTreeObs(t, tc.cfg)
 					if !bytes.Equal(chrome, refChrome) {
 						t.Errorf("run %d (GOMAXPROCS=%d): chrome trace differs", run, procs)
 					}

@@ -171,6 +171,189 @@ func TestParallelDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// parallelStageConfigs are the configurations exercising the once-serial
+// pipeline stages: SQL-fallback arms (a budget below every estimate sends
+// all requests to the fallback) and the three §4.3.3 auxiliary access paths
+// (partitioned builds plus partitioned keyset/TID-join scans).
+func parallelStageConfigs() map[string]Config {
+	return map[string]Config{
+		"fallback-heavy": {Staging: StageNone, Memory: 480}, // 12 entries: admits nothing
+		"keyset":         {Staging: StageNone, Access: AccessKeyset, AuxThreshold: 0.6},
+		"tid-join":       {Staging: StageNone, Access: AccessTIDJoin, AuxThreshold: 0.6},
+		"copy-table":     {Staging: StageNone, Access: AccessCopyTable, AuxThreshold: 0.6},
+	}
+}
+
+// TestParallelFallbackAuxMatchSequential: for the fallback-heavy and
+// auxiliary-structure workloads, every client-observable output with
+// Workers ∈ {2, 4, 8} is identical to the sequential run — parallel fallback
+// arms and partitioned aux builds/scans change where work executes, never
+// its outcome.
+func TestParallelFallbackAuxMatchSequential(t *testing.T) {
+	for name, cfg := range parallelStageConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			base := cfg
+			base.Workers = 1
+			want := driveTree(t, base, 2000, false)
+			for _, w := range []int{2, 4, 8} {
+				c := cfg
+				c.Workers = w
+				if got := driveTree(t, c, 2000, false); got != want {
+					t.Errorf("workers=%d: output differs from sequential\n got:\n%s\nwant:\n%s", w, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFallbackAuxDeterministicAcrossRuns: with Workers=4 the
+// fallback-heavy and aux-path runs — counters and virtual clock included —
+// are bit-for-bit reproducible across reruns and GOMAXPROCS settings.
+func TestParallelFallbackAuxDeterministicAcrossRuns(t *testing.T) {
+	for name, cfg := range parallelStageConfigs() {
+		cfg := cfg
+		cfg.Workers = 4
+		t.Run(name, func(t *testing.T) {
+			var prints []string
+			for _, procs := range []int{1, runtime.NumCPU()} {
+				old := runtime.GOMAXPROCS(procs)
+				prints = append(prints, driveTree(t, cfg, 2000, true), driveTree(t, cfg, 2000, true))
+				runtime.GOMAXPROCS(old)
+			}
+			for i := 1; i < len(prints); i++ {
+				if prints[i] != prints[0] {
+					t.Fatalf("run %d differs from run 0:\n got:\n%s\nwant:\n%s", i, prints[i], prints[0])
+				}
+			}
+		})
+	}
+}
+
+// TestPlanParallelPartitionsAuxPaths: keyset and TID-join batches must no
+// longer collapse to one worker — planParallel returns a multi-lane plan
+// carrying the partitioned structure.
+func TestPlanParallelPartitionsAuxPaths(t *testing.T) {
+	for _, access := range []ServerAccess{AccessKeyset, AccessTIDJoin} {
+		ds := randDataset(2000, 3)
+		m, _ := newMW(t, ds, Config{
+			Staging: StageNone, Access: access, AuxThreshold: 0.6, Workers: 4,
+		})
+		if err := m.Enqueue(rootRequest(ds)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		// One child covering ~1/3 of the rows: below AuxThreshold, so the
+		// batch qualifies for an auxiliary structure.
+		err := m.Enqueue(&Request{
+			NodeID: 1, ParentID: 0,
+			Path:  predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 1}},
+			Attrs: []int{1, 2, 3},
+			Rows:  countWhere(ds, func(r data.Row) bool { return r[0] == 1 }),
+			EstCC: 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.CloseNode(0)
+		b := m.schedule()
+		if b == nil || b.kind != srcServer {
+			t.Fatalf("access=%v: expected a server batch, got %+v", access, b)
+		}
+		sp := m.planParallel(b, m.memBudgetLeft())
+		if sp.nworkers != 4 {
+			t.Errorf("access=%v: planParallel nworkers = %d, want 4", access, sp.nworkers)
+		}
+		switch access {
+		case AccessKeyset:
+			if sp.keyset == nil {
+				t.Errorf("plan for keyset batch carries no partitioned keyset")
+			}
+		case AccessTIDJoin:
+			if sp.tidTab == nil {
+				t.Errorf("plan for TID-join batch carries no partitioned TID table")
+			}
+		}
+	}
+}
+
+// TestParallelFallbackImprovesVirtualTime: a fallback-only batch with
+// Workers=4 finishes in strictly less virtual time than serial — the
+// request's GROUP BY arms scan concurrently on forked lanes.
+func TestParallelFallbackImprovesVirtualTime(t *testing.T) {
+	elapsed := func(workers int) time.Duration {
+		ds := randDataset(8000, 3)
+		// Budget below the root estimate: straight to the SQL fallback.
+		m, _ := newMW(t, ds, Config{Staging: StageNone, Memory: 480, Workers: workers})
+		if err := m.Enqueue(rootRequest(ds)); err != nil {
+			t.Fatal(err)
+		}
+		results, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 1 || !results[0].ViaSQL {
+			t.Fatalf("workers=%d: expected a fallback result, got %+v", workers, results)
+		}
+		m.CloseNode(0)
+		return m.Meter().Now()
+	}
+	seq, par := elapsed(1), elapsed(4)
+	if par >= seq {
+		t.Errorf("workers=4 fallback virtual time %v not below workers=1 %v", par, seq)
+	}
+}
+
+// TestParallelAuxImprovesVirtualTime: for the keyset and TID-join access
+// modes, the child-level phase (aux build + partitioned aux scans) with
+// Workers=4 takes strictly less virtual time than serial.
+func TestParallelAuxImprovesVirtualTime(t *testing.T) {
+	for _, access := range []ServerAccess{AccessKeyset, AccessTIDJoin} {
+		elapsed := func(workers int) time.Duration {
+			ds := randDataset(8000, 3)
+			m, _ := newMW(t, ds, Config{
+				Staging: StageNone, Access: access, AuxThreshold: 0.6, Workers: workers,
+			})
+			if err := m.Enqueue(rootRequest(ds)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Step(); err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < 3; v++ {
+				val := data.Value(v)
+				err := m.Enqueue(&Request{
+					NodeID: 1 + v, ParentID: 0,
+					Path:  predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: val}},
+					Attrs: []int{1, 2, 3},
+					Rows:  countWhere(ds, func(r data.Row) bool { return r[0] == val }),
+					EstCC: 40,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.CloseNode(0)
+			snap := m.Meter().Snapshot()
+			for m.Pending() > 0 {
+				if _, err := m.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for id := 1; id <= 3; id++ {
+				m.CloseNode(id)
+			}
+			return m.Meter().Since(snap)
+		}
+		seq, par := elapsed(1), elapsed(4)
+		if par >= seq {
+			t.Errorf("access=%v: workers=4 aux-phase virtual time %v not below workers=1 %v", access, par, seq)
+		}
+	}
+}
+
 // TestParallelImprovesVirtualTime: on a server-scan batch the parallel cost
 // model must pay off — four lanes over disjoint page ranges finish the root
 // scan in strictly less virtual time than the sequential cursor.

@@ -460,13 +460,16 @@ func (m *Middleware) maybeBuildAux(b *batch) *stageData {
 		keyNodes:  nodeIDs(b.reqs),
 		openNodes: map[int]bool{},
 	}
+	// The builders partition their qualifying scan over Config.Workers lanes
+	// (the engine collapses to the serial builder when the table is too small
+	// to split or Workers <= 1).
 	switch m.cfg.Access {
 	case AccessKeyset:
-		sd.keyset = m.srv.OpenKeyset(filter)
+		sd.keyset = m.srv.OpenKeysetParallel(filter, m.cfg.Workers)
 	case AccessTIDJoin:
-		sd.tidTab = m.srv.CopyTIDs(filter)
+		sd.tidTab = m.srv.CopyTIDsParallel(filter, m.cfg.Workers)
 	case AccessCopyTable:
-		sub, err := m.srv.CopySubset(filter)
+		sub, err := m.srv.CopySubsetParallel(filter, m.cfg.Workers)
 		if err != nil {
 			return nil
 		}

@@ -58,6 +58,14 @@ type fileStore struct {
 	// tracer resolves the observability tracer lazily (it may be attached to
 	// the engine after the middleware is constructed); nil-safe throughout.
 	tracer func() *obs.Tracer
+
+	// Test seams for fault injection, always nil in production: createErr
+	// runs before a new staging file is opened (seq is the would-be file
+	// sequence number), finishErr before a writer's final flush. They let
+	// regression tests fail a specific create/Finish mid-batch and assert
+	// that no writer or on-disk file leaks.
+	createErr func(seq int) error
+	finishErr func(path string) error
 }
 
 func newFileStore(dir string, meter *sim.Meter, schema *data.Schema, budget int64, tracer func() *obs.Tracer) (*fileStore, error) {
@@ -104,6 +112,11 @@ type fileWriter struct {
 // create opens a new staging file, charging the file-open cost.
 func (fs *fileStore) create() (*fileWriter, error) {
 	fs.seq++
+	if fs.createErr != nil {
+		if err := fs.createErr(fs.seq); err != nil {
+			return nil, err
+		}
+	}
 	path := filepath.Join(fs.dir, fmt.Sprintf("stage%06d.rows", fs.seq))
 	f, err := os.Create(path)
 	if err != nil {
@@ -136,6 +149,9 @@ func (fw *fileWriter) Write(r data.Row) {
 
 // Finish flushes and registers the file, returning it.
 func (fw *fileWriter) Finish() (*stageFile, error) {
+	if fw.err == nil && fw.fs.finishErr != nil {
+		fw.err = fw.fs.finishErr(fw.sf.path)
+	}
 	if fw.err == nil {
 		fw.err = fw.w.Flush()
 	}
