@@ -1,0 +1,36 @@
+// Command repolint runs the repository's static-analysis suite (see
+// internal/analysis) over the packages matching the given patterns
+// (default ./...) and exits non-zero if any invariant is violated:
+//
+//	go run ./cmd/repolint ./...
+//
+// Diagnostics print as file:line:col: analyzer: message. A justified
+// exception is annotated in the source with //repolint:<analyzer> <reason>
+// on the flagged line or the line above.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", analysis.Analyzers(), patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s) in %d analyzer(s) suite\n", len(diags), len(analysis.Analyzers()))
+		os.Exit(1)
+	}
+}

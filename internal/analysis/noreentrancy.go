@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// NoreentrancyAnalyzer enforces sim.ChargeObserver's purity contract:
+// observers run inside Meter.Charge, after the clock and counter update, and
+// must never charge a meter themselves — directly or through helpers — or
+// attaching observability would perturb the simulated result (and recurse).
+// The check walks the package-local static call graph from every
+// ObserveCharge method and flags any reachable Meter.Charge or Meter.Advance.
+var NoreentrancyAnalyzer = &Analyzer{
+	Name: "noreentrancy",
+	Doc:  "no Meter.Charge/Advance inside a ChargeObserver callback chain",
+	Run:  runNoreentrancy,
+}
+
+func runNoreentrancy(p *Pass) {
+	// Package-local function bodies, keyed by their object.
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	var observers []*types.Func
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			bodies[obj] = fd
+			if fd.Name.Name == "ObserveCharge" && fd.Recv != nil {
+				observers = append(observers, obj)
+			}
+		}
+	}
+	sort.Slice(observers, func(i, j int) bool { return observers[i].Pos() < observers[j].Pos() })
+
+	for _, root := range observers {
+		// BFS over package-local static calls (closures included: a closure
+		// declared in the chain runs, or may run, as part of it).
+		visited := map[*types.Func]bool{root: true}
+		queue := []*types.Func{root}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			fd := bodies[fn]
+			if fd == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Info, call)
+				if callee == nil {
+					return true
+				}
+				if pkgBase(callee.Pkg()) == "sim" &&
+					(callee.Name() == "Charge" || callee.Name() == "Advance") &&
+					funcSignature(callee).Recv() != nil {
+					p.Reportf(call.Pos(),
+						"sim.Meter.%s inside a ChargeObserver callback chain (reachable from %s); observers must be pure readers",
+						callee.Name(), methodLabel(root))
+					return true
+				}
+				if callee.Pkg() == p.Pkg && !visited[callee] {
+					visited[callee] = true
+					queue = append(queue, callee)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// methodLabel renders a method for diagnostics: (*ProcMetrics).ObserveCharge.
+func methodLabel(f *types.Func) string {
+	sig := funcSignature(f)
+	if recv := sig.Recv(); recv != nil {
+		return "(" + types.TypeString(recv.Type(), types.RelativeTo(f.Pkg())) + ")." + f.Name()
+	}
+	return f.Name()
+}

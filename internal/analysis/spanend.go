@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SpanendAnalyzer enforces the span lifecycle contract of internal/obs: every
+// span returned by Tracer.Start must reach End (or EndAt) on every path out
+// of the acquiring function, including error returns. PR 3 fixed exactly this
+// class by hand — the batch scan span leaked when the scan errored — and the
+// next parallel fan-out must not be able to reintroduce it.
+//
+// Ownership transfers (spans stored in a struct such as a cursor, passed to
+// another function, captured by a deferred closure) are respected: the
+// obligation follows the value out and is checked wherever End is ultimately
+// called from.
+var SpanendAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs spans must reach End() on all paths, including error returns",
+	Run:  runSpanend,
+}
+
+func runSpanend(p *Pass) {
+	rules := &obRules{
+		leakVerb:    "Ended",
+		releaseRecv: map[string]bool{"End": true, "EndAt": true},
+		acquire: func(p *Pass, call *ast.CallExpr) (string, []int, bool) {
+			f := calleeFunc(p.Info, call)
+			if f == nil || f.Name() != "Start" || pkgBase(f.Pkg()) != "obs" {
+				return "", nil, false
+			}
+			if sig := funcSignature(f); sig.Results().Len() != 1 || namedOrPtr(sig.Results().At(0).Type()) == nil {
+				return "", nil, false
+			}
+			return "obs span", []int{0}, true
+		},
+		validRelease: func(p *Pass, call *ast.CallExpr) bool {
+			f := calleeFunc(p.Info, call)
+			return f != nil && pkgBase(f.Pkg()) == "obs"
+		},
+	}
+	runObligations(p, rules)
+}

@@ -1,0 +1,65 @@
+// Package determinism holds the determinism analyzer's testdata: wall-clock
+// reads, global math/rand draws and order-leaking map ranges are caught;
+// seeded sources, collect-then-sort loops and //repolint:ordered loops pass.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func BadWallClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now breaks byte-determinism`
+}
+
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time\.Since breaks byte-determinism`
+}
+
+func BadGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn draws from the process-wide source`
+}
+
+func BadGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func BadMapOrder(m map[string]int64) []int64 {
+	var out []int64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+func OkSeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func OkCollectThenSort(m map[string]int64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func OkAnnotated(m map[string]int64) int64 {
+	var sum int64
+	//repolint:ordered summation is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func OkSliceRange(xs []int64) int64 {
+	var sum int64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,38 @@
+// Package noreentrancy holds the noreentrancy analyzer's testdata: observers
+// that charge a meter directly or through a helper chain are caught; pure
+// readers (the real metrics sampler shape) pass.
+package noreentrancy
+
+import "lintdata/sim"
+
+type BadDirect struct{ m *sim.Meter }
+
+func (o *BadDirect) ObserveCharge(c sim.Counter, n, total, nowNS int64) {
+	o.m.Charge(c, 1, n) // want `sim\.Meter\.Charge inside a ChargeObserver callback chain`
+}
+
+type BadIndirect struct{ m *sim.Meter }
+
+func (o *BadIndirect) ObserveCharge(c sim.Counter, n, total, nowNS int64) {
+	o.resample(c)
+}
+
+func (o *BadIndirect) resample(c sim.Counter) {
+	o.m.Advance(1) // want `sim\.Meter\.Advance inside a ChargeObserver callback chain`
+}
+
+type GoodSampler struct {
+	m       *sim.Meter
+	samples []int64
+}
+
+func (o *GoodSampler) ObserveCharge(c sim.Counter, n, total, nowNS int64) {
+	// Pure reader, exactly like obs.ProcMetrics: reads counters, never
+	// charges.
+	o.samples = append(o.samples, o.m.Count(c))
+}
+
+// FreeCharge is outside any observer chain: charging here is the normal case.
+func FreeCharge(m *sim.Meter) {
+	m.Charge(0, 1, 1)
+}

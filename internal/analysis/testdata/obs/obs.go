@@ -1,0 +1,63 @@
+// Package obs is a structural stub of the real internal/obs: Tracer.Start
+// returns a Span that must be Ended, and ForkLanes/JoinLanes mirror the lane
+// tracer barrier.
+package obs
+
+import "lintdata/sim"
+
+type Tracer struct{ spans int }
+
+type Span struct {
+	tr   *Tracer
+	Dur  int64
+	Rows int64
+}
+
+func (t *Tracer) Start(cat, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.spans++
+	return &Span{tr: t}
+}
+
+func (t *Tracer) ForkLanes(lanes []*sim.Meter) []*Tracer {
+	if t == nil {
+		return nil
+	}
+	out := make([]*Tracer, len(lanes))
+	for i := range out {
+		out[i] = &Tracer{}
+	}
+	return out
+}
+
+func (t *Tracer) JoinLanes(lanes []*Tracer) {
+	for _, lt := range lanes {
+		if lt != nil {
+			t.spans += lt.spans
+		}
+	}
+}
+
+func (s *Span) End() {
+	if s != nil {
+		s.tr = nil
+	}
+}
+
+func (s *Span) EndAt(ns int64) {
+	if s != nil {
+		s.Dur = ns
+		s.tr = nil
+	}
+}
+
+func (s *Span) SetRows(n int64) *Span {
+	if s != nil {
+		s.Rows = n
+	}
+	return s
+}
+
+func (s *Span) Attr(key string, v int64) *Span { return s }

@@ -1,0 +1,51 @@
+// Package pr3staging reconstructs the staging-writer leak PR 3 fixed in
+// internal/mw: a mid-batch failure returned without Aborting the writer that
+// was already open, stranding its temp file. The Fixed variant aborts on
+// every failure path and must stay clean.
+package pr3staging
+
+import (
+	"errors"
+
+	"lintdata/res"
+)
+
+var errBadPartition = errors.New("bad partition")
+
+// LeakyStageAll is the pre-PR 3 shape: the per-partition writer leaks when a
+// partition fails validation after the writer is created.
+func LeakyStageAll(parts [][]byte) error {
+	for _, part := range parts {
+		w, err := res.Create() // want `resource Writer "w" is not released`
+		if err != nil {
+			return err
+		}
+		w.Write(part)
+		if len(part) == 0 {
+			return errBadPartition // the PR 3 bug: w is neither Finished nor Aborted
+		}
+		if err := w.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FixedStageAll is the post-PR 3 shape: Abort on the failure path.
+func FixedStageAll(parts [][]byte) error {
+	for _, part := range parts {
+		w, err := res.Create()
+		if err != nil {
+			return err
+		}
+		w.Write(part)
+		if len(part) == 0 {
+			w.Abort()
+			return errBadPartition
+		}
+		if err := w.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package res declares module-local resource types for the closer analyzer:
+// a Cursor with a Close obligation (the engine cursor shape) and a Writer
+// with Finish/Abort obligations (the middleware staging-writer shape).
+package res
+
+type Cursor struct{ open bool }
+
+func OpenScan() *Cursor { return &Cursor{open: true} }
+
+func (c *Cursor) Next() (int, bool) { return 0, false }
+
+func (c *Cursor) Close() { c.open = false }
+
+type Writer struct {
+	rows int
+	err  error
+}
+
+func Create() (*Writer, error) { return &Writer{}, nil }
+
+func (w *Writer) Write(b []byte) { w.rows++ }
+
+func (w *Writer) Finish() error { return w.err }
+
+func (w *Writer) Abort() { w.rows = 0 }
+
+// Pool has a Close method but is handed out by an accessor, not a
+// constructor: callers do not take over its release obligation.
+type Pool struct{ cur Cursor }
+
+func (p *Pool) Shared() *Cursor { return &p.cur }
+
+func (p *Pool) Close() {}

@@ -1,0 +1,66 @@
+// Package spanend holds the spanend analyzer's testdata: spans leaked on
+// error paths or discarded outright are caught; deferred ends, all-path ends,
+// in-chain ends and ownership transfers pass.
+package spanend
+
+import (
+	"errors"
+
+	"lintdata/obs"
+)
+
+var errScan = errors.New("scan failed")
+
+func BadErrorPath(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("scan", "scan") // want `obs span "sp" is not Ended on every path`
+	if fail {
+		return errScan // leaks the span
+	}
+	sp.End()
+	return nil
+}
+
+func BadDiscarded(tr *obs.Tracer) {
+	tr.Start("scan", "orphan") // want `obs span is discarded without being Ended`
+}
+
+func BadNeverEnded(tr *obs.Tracer, rows int64) int64 {
+	sp := tr.Start("merge", "merge") // want `obs span "sp" is not Ended on every path`
+	sp.SetRows(rows)
+	return rows
+}
+
+func OkDefer(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("batch", "batch")
+	defer sp.End()
+	if fail {
+		return errScan
+	}
+	return nil
+}
+
+func OkAllPaths(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("scan", "scan")
+	if fail {
+		sp.End()
+		return errScan
+	}
+	sp.SetRows(1).End()
+	return nil
+}
+
+func OkChained(tr *obs.Tracer) {
+	tr.Start("stage", "stage-memory").SetRows(2).End()
+}
+
+func OkDeferredClosure(tr *obs.Tracer, rows int64) {
+	sp := tr.Start("aux", "copy-subset")
+	defer func() { sp.SetRows(rows).End() }()
+}
+
+type cursor struct{ sp *obs.Span }
+
+func OkOwnershipTransfer(tr *obs.Tracer) *cursor {
+	// The span moves into the cursor; whoever closes the cursor ends it.
+	return &cursor{sp: tr.Start("cursor", "server-scan")}
+}

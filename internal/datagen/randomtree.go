@@ -138,6 +138,7 @@ func GenerateTreeData(cfg TreeGenConfig) (*data.Dataset, int, error) {
 				depth:  n.depth + 1,
 				used:   map[int]bool{a: true},
 			}
+			//repolint:ordered set-to-set copy is order-independent
 			for k := range n.used {
 				child.used[k] = true
 			}

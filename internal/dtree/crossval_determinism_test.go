@@ -1,0 +1,84 @@
+package dtree
+
+// Determinism regression for cross-validation (and the train/test split in
+// eval.go): both draw randomness exclusively from an explicitly seeded
+// *rand.Rand constructed from the caller's seed — never the global math/rand
+// source — so fold assignment is a pure function of (dataset, k, seed). The
+// repolint determinism analyzer enforces the no-global-rand rule statically;
+// this test pins the behavioral consequence.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// foldFingerprint renders the exact fold assignment CrossValidate derives from
+// a seed: the seeded permutation, with row i landing in fold i%k.
+func foldFingerprint(n, k int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, pi := range perm {
+		folds[i%k] = append(folds[i%k], pi)
+	}
+	return fmt.Sprint(folds)
+}
+
+func TestCrossValidateFoldAssignmentDeterministic(t *testing.T) {
+	ds := singleAttrDataset(600)
+	const k = 5
+	const seed = 42
+
+	ref, err := CrossValidate(ds, k, Options{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFolds := foldFingerprint(ds.N(), k, seed)
+
+	// Identical (dataset, k, seed) must reproduce the result exactly —
+	// including per-fold accuracies, which are sensitive to fold membership.
+	for rep := 0; rep < 3; rep++ {
+		got, err := CrossValidate(ds, k, Options{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(ref) || fmt.Sprint(got.FoldAcc) != fmt.Sprint(ref.FoldAcc) {
+			t.Fatalf("rep %d: CV result drifted:\n got  %+v\n want %+v", rep, got, ref)
+		}
+		if f := foldFingerprint(ds.N(), k, seed); f != refFolds {
+			t.Fatalf("rep %d: fold assignment drifted for the same seed", rep)
+		}
+	}
+
+	// Draws from the global source between runs must not leak in.
+	rand.Int() //repolint:determinism deliberately perturbs the global source to prove CrossValidate does not read it
+	got, err := CrossValidate(ds, k, Options{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.FoldAcc) != fmt.Sprint(ref.FoldAcc) {
+		t.Fatal("CrossValidate result changed after perturbing the global math/rand source")
+	}
+
+	// A different seed must actually move the folds (the seed is plumbed, not
+	// ignored).
+	if foldFingerprint(ds.N(), k, seed+1) == refFolds {
+		t.Fatal("fold assignment identical across different seeds; seed is not plumbed")
+	}
+}
+
+// TestSplitDeterministic pins the same contract for the eval.go train/test
+// split helper.
+func TestSplitDeterministic(t *testing.T) {
+	ds := singleAttrDataset(400)
+	train1, test1 := Split(ds, 0.3, 7)
+	train2, test2 := Split(ds, 0.3, 7)
+	if fmt.Sprint(train1.Rows) != fmt.Sprint(train2.Rows) || fmt.Sprint(test1.Rows) != fmt.Sprint(test2.Rows) {
+		t.Fatal("Split is not deterministic for a fixed seed")
+	}
+	_, test3 := Split(ds, 0.3, 8)
+	if fmt.Sprint(test1.Rows) == fmt.Sprint(test3.Rows) {
+		t.Fatal("Split ignores its seed")
+	}
+}

@@ -169,9 +169,10 @@ func (e *Engine) Insert(t *Table, r data.Row) (storage.TID, error) {
 	buf = r.Encode(buf)
 	tid := t.heap.Insert(buf)
 	e.meter.Charge(sim.CtrServerRows, e.meter.Costs().ServerRowWrite, 1)
-	for _, idx := range t.indexes {
-		ci := t.ColIndex(idx.Col)
-		idx.bt.Insert(int64(r[ci]), tid)
+	for ci, col := range t.Cols {
+		if idx, ok := t.indexes[col]; ok {
+			idx.bt.Insert(int64(r[ci]), tid)
+		}
 	}
 	return tid, nil
 }
@@ -187,9 +188,10 @@ func (e *Engine) BulkLoad(t *Table, rows []data.Row) error {
 		}
 		buf = r.Encode(buf[:0])
 		tid := t.heap.Insert(buf)
-		for _, idx := range t.indexes {
-			ci := t.ColIndex(idx.Col)
-			idx.bt.Insert(int64(r[ci]), tid)
+		for ci, col := range t.Cols {
+			if idx, ok := t.indexes[col]; ok {
+				idx.bt.Insert(int64(r[ci]), tid)
+			}
 		}
 	}
 	return nil

@@ -296,6 +296,7 @@ func (m *Middleware) Step() ([]*Result, error) {
 			fsp := tr.Start(obs.CatFallback, "sql-fallback").Attr("node", int64(r.NodeID))
 			t, err := m.sqlCounts(r)
 			if err != nil {
+				fsp.End()
 				return nil, err
 			}
 			m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
@@ -376,6 +377,7 @@ func scanRowCounter(k sourceKind) sim.Counter {
 // metrics registry serializes.
 func deltasByName(in map[sim.Counter]int64) map[string]int64 {
 	out := make(map[string]int64, len(in))
+	//repolint:ordered map-to-map rekeying; the serializer sorts the names
 	for c, v := range in {
 		out[c.String()] = v
 	}
@@ -387,6 +389,7 @@ func deltasByName(in map[sim.Counter]int64) map[string]int64 {
 // queued nodes with no staged ancestor (still served from the server).
 func (m *Middleware) residency() (server, file, mem int) {
 	seen := map[*stageData]bool{}
+	//repolint:ordered commutative tier counting over a deduplicated set
 	for _, list := range m.sources {
 		for _, sd := range list {
 			if sd.freed || seen[sd] {

@@ -89,6 +89,7 @@ func (m *Middleware) evictMemoryStage() bool { return m.evictMemoryStageExcept(n
 func (m *Middleware) evictMemoryStageExcept(except *stageData) bool {
 	var victim *stageData
 	seen := map[*stageData]bool{}
+	//repolint:ordered victim selection is a total order (max memBytes, min seq tie-break), so the same stage wins in any iteration order
 	for _, list := range m.sources {
 		for _, sd := range list {
 			if sd.freed || sd.mem == nil || seen[sd] || sd == except {

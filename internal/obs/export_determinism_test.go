@@ -1,0 +1,100 @@
+package obs
+
+// Regression for the export layer's map-ordering contract: every map that
+// reaches an export (BatchStats.Deltas, traceEvent.Args, span attrs rendered
+// into args) must serialize in sorted key order, so two registries holding the
+// same logical metrics — built with different map insertion orders — export
+// byte-identical JSON and Chrome traces.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// buildMetrics assembles one registry whose Deltas maps are populated in the
+// given key order; the logical content is identical for any permutation.
+func buildMetrics(keyOrder []string) *Metrics {
+	m := NewMetrics()
+	meter := sim.NewDefaultMeter()
+	pm := m.NewProc(1, "run", meter)
+	deltas := map[string]int64{}
+	for _, k := range keyOrder {
+		deltas[k] = int64(len(k)) * 7 // value derives from the key, not the slot
+	}
+	pm.AddBatch(BatchStats{
+		Batch: 1, Source: "server", StartNS: 0, EndNS: 5_000_000,
+		NNodes: 3, Deltas: deltas,
+		MemUsedBytes: 64, FilesLive: 1,
+		NodesServer: 2, NodesFile: 1,
+	})
+	return m
+}
+
+func TestMetricsExportByteIdenticalAcrossMapInsertionOrder(t *testing.T) {
+	forward := []string{"server_pages", "rows_transmitted", "file_rows_written", "cc_updates", "sql_statements"}
+	backward := make([]string, len(forward))
+	for i, k := range forward {
+		backward[len(forward)-1-i] = k
+	}
+
+	ma := buildMetrics(forward)
+	mb := buildMetrics(backward)
+
+	var ja, jb bytes.Buffer
+	if err := ma.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Errorf("metrics JSON depends on Deltas insertion order:\n%s\nvs\n%s", ja.Bytes(), jb.Bytes())
+	}
+
+	// The Chrome export path (counter events with map-valued Args) must hold
+	// to the same contract.
+	var ca, cb bytes.Buffer
+	if err := NewTrace().WriteChrome(&ca, ma); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewTrace().WriteChrome(&cb, mb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Error("chrome counter export depends on map insertion order")
+	}
+	if ja.Len() == 0 || ca.Len() == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+// TestSpanArgsExportSorted pins the same property for span attributes routed
+// through traceEvent.Args maps in the Chrome export.
+func TestSpanArgsExportSorted(t *testing.T) {
+	build := func(order []string) []byte {
+		tr := NewTrace()
+		meter := sim.NewDefaultMeter()
+		root := tr.Proc(1, "p", meter)
+		sp := root.Start("cat", "span")
+		for i, k := range order {
+			sp.Attr(k, int64(10+i%2))
+		}
+		sp.Attr("zz", 1).Attr("aa", 2) // fixed tail so both runs agree on values
+		sp.End()
+		var b bytes.Buffer
+		if err := tr.WriteChrome(&b, nil); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	// Attrs are an ordered slice; identical call order must mean identical
+	// bytes, and the map-valued Args they pass through must not scramble runs
+	// with the same call order.
+	a := build([]string{"k1", "k2", "k3"})
+	b := build([]string{"k1", "k2", "k3"})
+	if !bytes.Equal(a, b) {
+		t.Error("identical span attr sequences export different bytes")
+	}
+}

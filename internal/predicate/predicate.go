@@ -101,6 +101,7 @@ func (cj Conj) Normalize() (out Conj, ok bool) {
 			ne[c.Attr][c.Val] = true
 		}
 	}
+	//repolint:ordered existence check; any iteration order reaches the same verdict
 	for a, v := range eq {
 		if ne[a][v] {
 			return nil, false

@@ -1,19 +1,30 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, tests, and the race detector (the parallel
-# scan pipeline fans out real goroutines, so -race is part of the gate).
-set -eu
+# Tier-1 verification: build, vet, repolint, tests, and the race detector (the
+# parallel scan pipeline fans out real goroutines, so -race is part of the
+# gate). On failure, the name of the gate that failed is printed so CI logs
+# and humans see at a glance which invariant broke.
+set -u
 cd "$(dirname "$0")"
 
-echo "== go build ./..."
-go build ./...
-echo "== go vet ./..."
-go vet ./...
-echo "== go test ./..."
-go test ./...
-echo "== go test -race -short ./..."
+gate() {
+  name="$1"
+  shift
+  echo "== $name"
+  if ! "$@"; then
+    echo "verify: FAILED at gate: $name" >&2
+    exit 1
+  fi
+}
+
+gate "go build ./..." go build ./...
+gate "go vet ./..." go vet ./...
+# repolint: the repository's own static-analysis suite (internal/analysis):
+# determinism, span/fork hygiene and resource-release invariants.
+gate "go run ./cmd/repolint ./..." go run ./cmd/repolint ./...
+gate "go test ./..." go test ./...
 # -short skips the full-scale experiment suites (internal/exp), which exceed
 # the test timeout under the race detector; all goroutine-spawning code
 # (internal/mw parallel scans, internal/exp tiny-scale scaling run) still
 # executes under -race.
-go test -race -short ./...
+gate "go test -race -short ./..." go test -race -short ./...
 echo "verify: all green"
