@@ -1,0 +1,99 @@
+// Package skewstats holds the histogram-partitioning testdata: the naive
+// map-based value-statistics shapes PR 5 deliberately avoided (split
+// boundaries derived from a map walk would depend on iteration order and
+// break byte-determinism), plus a split-planning span that leaks on the
+// fallback path. The Ok variants are the shapes internal/engine/stats.go
+// actually ships: dense slices walked in index order, spans ended on every
+// path.
+package skewstats
+
+import (
+	"sort"
+
+	"lintdata/obs"
+)
+
+// BadMapHistogram is the tempting first cut of per-page value statistics: a
+// map from value to count whose walk order — and therefore any split boundary
+// computed from the walk — changes run to run.
+func BadMapHistogram(values []int) []int64 {
+	counts := map[int]int64{}
+	for _, v := range values {
+		counts[v]++
+	}
+	var weights []int64
+	for _, c := range counts { // want `map iteration order is nondeterministic`
+		weights = append(weights, c)
+	}
+	return weights
+}
+
+// BadMapBounds accumulates page weights keyed by page id and emits prefix
+// boundaries straight off the map walk — the order-dependent arithmetic the
+// weighted-bounds code must never contain.
+func BadMapBounds(pageWeight map[int]int64, nparts int) []int64 {
+	var prefix []int64
+	var run int64
+	for _, w := range pageWeight { // want `map iteration order is nondeterministic`
+		run += w
+		prefix = append(prefix, run)
+	}
+	return prefix
+}
+
+// OkSliceHistogram is the shipped shape: a dense counts slice indexed by
+// value code (plus an overflow counter), walked in index order.
+func OkSliceHistogram(values []int, maxValue int) ([]int64, int64) {
+	counts := make([]int64, maxValue)
+	var over int64
+	for _, v := range values {
+		if v < 0 || v >= maxValue {
+			over++
+			continue
+		}
+		counts[v]++
+	}
+	return counts, over
+}
+
+// OkSortedPageWalk is the acceptable map escape hatch: collect the keys,
+// sort, then walk — boundaries become a pure function of the contents.
+func OkSortedPageWalk(pageWeight map[int]int64) []int64 {
+	pages := make([]int, 0, len(pageWeight))
+	for p := range pageWeight {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	var prefix []int64
+	var run int64
+	for _, p := range pages {
+		run += pageWeight[p]
+		prefix = append(prefix, run)
+	}
+	return prefix
+}
+
+// LeakySplitSpan is the split-planning span mistake: the span opened around
+// hint computation never reaches End when the stats are missing and the
+// planner falls back to equal-width.
+func LeakySplitSpan(tr *obs.Tracer, haveStats bool) []int {
+	sp := tr.Start("plan", "weighted-split") // want `obs span "sp" is not Ended on every path`
+	if !haveStats {
+		return nil // fallback path leaks the span
+	}
+	bounds := []int{0, 1}
+	sp.SetRows(int64(len(bounds))).End()
+	return bounds
+}
+
+// FixedSplitSpan ends the span on the fallback path too.
+func FixedSplitSpan(tr *obs.Tracer, haveStats bool) []int {
+	sp := tr.Start("plan", "weighted-split")
+	if !haveStats {
+		sp.End()
+		return nil
+	}
+	bounds := []int{0, 1}
+	sp.SetRows(int64(len(bounds))).End()
+	return bounds
+}

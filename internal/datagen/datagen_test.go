@@ -274,3 +274,90 @@ func TestPaperScaleArithmetic(t *testing.T) {
 		t.Errorf("500 leaves x 950 cases = %.1f MB, paper says ~50 MB", mb)
 	}
 }
+
+func TestClusteredShapeAndDeterminism(t *testing.T) {
+	cfg := ClusteredConfig{Rows: 3000, Seed: 5, Regions: 6, Attrs: 4, Values: 3}
+	ds, err := GenerateClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3000 {
+		t.Fatalf("rows = %d, want 3000", ds.N())
+	}
+	if got := ds.Schema.NumAttrs(); got != 5 {
+		t.Fatalf("attrs = %d, want 5 (region + 4)", got)
+	}
+	if ds.Schema.Attrs[0].Name != "region" || ds.Schema.Attrs[0].Card != 6 {
+		t.Fatalf("attr 0 = %+v, want region/card 6", ds.Schema.Attrs[0])
+	}
+	// Clustered placement: region values ascend monotonically through the
+	// row order (contiguous equal slabs), and every region holds Rows/Regions
+	// rows.
+	counts := make([]int, cfg.Regions)
+	prev := 0
+	for i, r := range ds.Rows {
+		v := int(r[0])
+		if v < prev {
+			t.Fatalf("row %d: region %d after %d — placement not contiguous", i, v, prev)
+		}
+		prev = v
+		counts[v]++
+	}
+	for v, n := range counts {
+		if n != 500 {
+			t.Fatalf("region %d holds %d rows, want 500", v, n)
+		}
+	}
+	// Same seed, same bytes; different seed, different rows.
+	ds2, err := GenerateClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Rows {
+		for j := range ds.Rows[i] {
+			if ds.Rows[i][j] != ds2.Rows[i][j] {
+				t.Fatalf("row %d differs across identical seeds", i)
+			}
+		}
+	}
+	cfg.Seed = 6
+	ds3, err := GenerateClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ds.Rows {
+		for j := range ds.Rows[i] {
+			if ds.Rows[i][j] != ds3.Rows[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestClusteredDefaultsAndClassSignal(t *testing.T) {
+	ds, err := GenerateClustered(ClusteredConfig{Rows: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Schema.NumAttrs(); got != 6 {
+		t.Fatalf("default attrs = %d, want 6 (region + 5)", got)
+	}
+	// The class rule is a noisy parity of region and the first attributes:
+	// within one (region, a1, a2) cell the majority class must be far from
+	// a coin flip.
+	var agree, total int
+	for _, r := range ds.Rows {
+		want := (int(r[0]) + int(r[1])*2 + int(r[2])) % 2
+		total++
+		if int(r[len(r)-1]) == want {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Fatalf("class agrees with rule on %.2f of rows, want >= 0.9 (noise 0.05)", frac)
+	}
+}

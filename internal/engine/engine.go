@@ -41,6 +41,7 @@ type Table struct {
 	Cols    []string
 	heap    *storage.HeapFile
 	indexes map[string]*Index // by column name
+	stats   *ValueStats       // per-page value histograms (partition hints)
 	temp    bool
 }
 
@@ -124,6 +125,7 @@ func (e *Engine) CreateTable(name string, cols []string) (*Table, error) {
 		Cols:    append([]string(nil), cols...),
 		heap:    storage.NewHeapFile(4 * len(cols)),
 		indexes: make(map[string]*Index),
+		stats:   NewValueStats(len(cols), 0),
 	}
 	e.tables[name] = t
 	return t, nil
@@ -168,6 +170,7 @@ func (e *Engine) Insert(t *Table, r data.Row) (storage.TID, error) {
 	buf := make([]byte, 0, 4*len(r))
 	buf = r.Encode(buf)
 	tid := t.heap.Insert(buf)
+	t.stats.NoteAt(int(tid.Page), r)
 	e.meter.Charge(sim.CtrServerRows, e.meter.Costs().ServerRowWrite, 1)
 	for ci, col := range t.Cols {
 		if idx, ok := t.indexes[col]; ok {
@@ -188,6 +191,7 @@ func (e *Engine) BulkLoad(t *Table, rows []data.Row) error {
 		}
 		buf = r.Encode(buf[:0])
 		tid := t.heap.Insert(buf)
+		t.stats.NoteAt(int(tid.Page), r)
 		for ci, col := range t.Cols {
 			if idx, ok := t.indexes[col]; ok {
 				idx.bt.Insert(int64(r[ci]), tid)

@@ -21,16 +21,16 @@ import (
 // its partition and the folded result is bit-for-bit reproducible across
 // GOMAXPROCS and goroutine interleavings.
 
-// scanHeapPartition drives partition part of nparts of the table's heap
-// through fn under the cold-scan cost model: one ServerPageIO per page
-// holding records, ServerRowCPU per decoded row, all charged to lane.
-func (s *Server) scanHeapPartition(part, nparts int, lane *sim.Meter, fn func(tid storage.TID, row data.Row)) {
+// scanHeapRange drives the heap pages [lo, hi) through fn under the
+// cold-scan cost model: one ServerPageIO per page holding records,
+// ServerRowCPU per decoded row, all charged to lane. The aux builders feed
+// it boundaries from PageBounds (weighted) or the equal-width formula.
+func (s *Server) scanHeapRange(loPage, hiPage int, lane *sim.Meter, fn func(tid storage.TID, row data.Row)) {
 	h := s.table.heap
 	ncols := len(s.table.Cols)
 	costs := lane.Costs()
-	np := h.NumPages()
-	lo := storage.PageID(part * np / nparts)
-	hi := storage.PageID((part + 1) * np / nparts)
+	lo := storage.PageID(loPage)
+	hi := storage.PageID(hiPage)
 	var row data.Row
 	for p := lo; p < hi; p++ {
 		for slot := uint16(0); ; slot++ {
@@ -74,13 +74,17 @@ func laneTracer(ltrs []*obs.Tracer, i int) *obs.Tracer {
 // nworkers page ranges: each worker captures the TIDs of its own range on a
 // forked lane meter, and the shards concatenate in partition order — TIDs
 // ascend within a partition and partitions tile the heap in order, so the
-// combined keyset is identical to the sequential scan's. nworkers <= 1 (or a
-// table too small to split) delegates to the serial builder.
+// combined keyset is identical to the sequential scan's. Page boundaries are
+// histogram-weighted (capturing a TID is free, so weights reduce to page +
+// row-CPU cost), equal-width when hints are off. nworkers <= 1 (or a table
+// too small to split) delegates to the serial builder.
 func (s *Server) OpenKeysetParallel(f predicate.Filter, nworkers int) *Keyset {
 	nworkers = s.auxWorkers(nworkers)
 	if nworkers < 2 {
 		return s.OpenKeyset(f)
 	}
+	np := s.table.NumPages()
+	bounds := s.PageBounds(f, nworkers, 0)
 	tr := s.eng.tracer
 	sp := tr.Start(obs.CatAux, "keyset-build").Attr("workers", int64(nworkers))
 	lanes := s.meter.Fork(nworkers)
@@ -94,7 +98,8 @@ func (s *Server) OpenKeysetParallel(f predicate.Filter, nworkers int) *Keyset {
 			psp := ltr.Start(obs.CatAux, "keyset-partition").SetPartition(part, nworkers)
 			lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
 			var tids []storage.TID
-			s.scanHeapPartition(part, nworkers, lane, func(tid storage.TID, row data.Row) {
+			lo, hi := rangeOf(part, nworkers, np, bounds)
+			s.scanHeapRange(lo, hi, lane, func(tid storage.TID, row data.Row) {
 				if f.Eval(row) {
 					tids = append(tids, tid)
 				}
@@ -117,12 +122,16 @@ func (s *Server) OpenKeysetParallel(f predicate.Filter, nworkers int) *Keyset {
 // CopyTIDsParallel is CopyTIDs with the qualifying scan partitioned over
 // nworkers page ranges. Each worker charges one server row-write per TID it
 // captures (the copy into the server-side TID table), exactly as the serial
-// builder does, and shards concatenate in partition order.
+// builder does, and shards concatenate in partition order. Page boundaries
+// weight each estimated matching row at the row-write cost, so a worker over
+// the matching region doesn't straggle behind workers copying nothing.
 func (s *Server) CopyTIDsParallel(f predicate.Filter, nworkers int) *TIDTable {
 	nworkers = s.auxWorkers(nworkers)
 	if nworkers < 2 {
 		return s.CopyTIDs(f)
 	}
+	np := s.table.NumPages()
+	bounds := s.PageBounds(f, nworkers, s.meter.Costs().ServerRowWrite)
 	tr := s.eng.tracer
 	sp := tr.Start(obs.CatAux, "tid-table-build").Attr("workers", int64(nworkers))
 	lanes := s.meter.Fork(nworkers)
@@ -137,7 +146,8 @@ func (s *Server) CopyTIDsParallel(f predicate.Filter, nworkers int) *TIDTable {
 			costs := lane.Costs()
 			lane.Charge(sim.CtrServerScans, costs.CursorOpen, 1)
 			var tids []storage.TID
-			s.scanHeapPartition(part, nworkers, lane, func(tid storage.TID, row data.Row) {
+			lo, hi := rangeOf(part, nworkers, np, bounds)
+			s.scanHeapRange(lo, hi, lane, func(tid storage.TID, row data.Row) {
 				if f.Eval(row) {
 					tids = append(tids, tid)
 					lane.Charge(sim.CtrServerRows, costs.ServerRowWrite, 1)
@@ -175,6 +185,8 @@ func (s *Server) CopySubsetParallel(f predicate.Filter, nworkers int) (*Server, 
 		return nil, err
 	}
 	t.temp = true
+	np := s.table.NumPages()
+	bounds := s.PageBounds(f, nworkers, s.meter.Costs().ServerRowWrite)
 	tr := s.eng.tracer
 	sp := tr.Start(obs.CatAux, "copy-subset").Attr("workers", int64(nworkers))
 	lanes := s.meter.Fork(nworkers)
@@ -189,7 +201,8 @@ func (s *Server) CopySubsetParallel(f predicate.Filter, nworkers int) (*Server, 
 			costs := lane.Costs()
 			lane.Charge(sim.CtrServerScans, costs.CursorOpen, 1)
 			var rows []data.Row
-			s.scanHeapPartition(part, nworkers, lane, func(_ storage.TID, row data.Row) {
+			lo, hi := rangeOf(part, nworkers, np, bounds)
+			s.scanHeapRange(lo, hi, lane, func(_ storage.TID, row data.Row) {
 				if f.Eval(row) {
 					rows = append(rows, row.Clone())
 					lane.Charge(sim.CtrServerRows, costs.ServerRowWrite, 1)
@@ -209,7 +222,7 @@ func (s *Server) CopySubsetParallel(f predicate.Filter, nworkers int) (*Server, 
 		}
 	}
 	sp.SetRows(t.NumRows()).End()
-	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t}, nil
+	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t, noHints: s.noHints}, nil
 }
 
 // OpenScanPartition re-scans one contiguous partition of the keyset:
@@ -222,15 +235,54 @@ func (k *Keyset) OpenScanPartition(sproc *predicate.Filter, part, nparts int, la
 	if part < 0 || nparts < 1 || part >= nparts {
 		panic(fmt.Sprintf("engine: invalid keyset partition %d of %d", part, nparts))
 	}
+	lo, hi := rangeOf(part, nparts, len(k.tids), nil)
+	return k.OpenScanRange(sproc, lo, hi, lane)
+}
+
+// OpenScanRange is OpenScanPartition over an explicit TID index range
+// [lo, hi), typically chosen by ScanBounds. Empty ranges are valid.
+func (k *Keyset) OpenScanRange(sproc *predicate.Filter, lo, hi int, lane *sim.Meter) Cursor {
+	if lo < 0 || hi < lo || hi > len(k.tids) {
+		panic(fmt.Sprintf("engine: invalid keyset range [%d, %d) of %d TIDs", lo, hi, len(k.tids)))
+	}
 	if lane == nil {
 		lane = k.s.meter
 	}
 	lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
-	n := len(k.tids)
-	return &keysetPartCursor{
-		k: k, sproc: sproc, lane: lane,
-		i: part * n / nparts, end: (part + 1) * n / nparts,
+	return &keysetPartCursor{k: k, sproc: sproc, lane: lane, i: lo, end: hi}
+}
+
+// ScanBounds returns histogram-guided TID boundaries splitting a keyset
+// re-scan into nparts lanes of approximately equal estimated cost. Every TID
+// pays the fetch (plus sproc CPU); the transmit-and-process cost — RowTransmit
+// plus the caller's perMatch — is scaled by the match density of the TID's
+// home page under the sproc filter, from the same per-page statistics that
+// guide heap scans. Nil when hints are disabled or the keyset is empty.
+func (k *Keyset) ScanBounds(sproc *predicate.Filter, nparts int, perMatch int64) []int {
+	s := k.s
+	if s.noHints || nparts < 2 || len(k.tids) == 0 {
+		return nil
 	}
+	costs := s.meter.Costs()
+	base := costs.TIDFetch
+	var hints []PageHint
+	if sproc != nil {
+		base += costs.ServerRowCPU
+		hints = s.table.PartitionHints(*sproc)
+	}
+	per := costs.RowTransmit + perMatch
+	weights := make([]int64, len(k.tids))
+	for i, tid := range k.tids {
+		w := base
+		if hints == nil {
+			// No sproc: every keyset row is transmitted.
+			w += per
+		} else if h := hints[tid.Page]; h.Rows > 0 {
+			w += per * h.Match / h.Rows
+		}
+		weights[i] = w
+	}
+	return WeightedBounds(weights, nparts)
 }
 
 // keysetPartCursor is a keysetCursor restricted to a TID range, charging a
@@ -283,15 +335,48 @@ func (t *TIDTable) OpenJoinPartition(filter predicate.Filter, part, nparts int, 
 	if part < 0 || nparts < 1 || part >= nparts {
 		panic(fmt.Sprintf("engine: invalid TID-join partition %d of %d", part, nparts))
 	}
+	lo, hi := rangeOf(part, nparts, len(t.tids), nil)
+	return t.OpenJoinRange(filter, lo, hi, lane)
+}
+
+// OpenJoinRange is OpenJoinPartition over an explicit TID index range
+// [lo, hi), typically chosen by JoinBounds. Empty ranges are valid.
+func (t *TIDTable) OpenJoinRange(filter predicate.Filter, lo, hi int, lane *sim.Meter) Cursor {
+	if lo < 0 || hi < lo || hi > len(t.tids) {
+		panic(fmt.Sprintf("engine: invalid TID-join range [%d, %d) of %d TIDs", lo, hi, len(t.tids)))
+	}
 	if lane == nil {
 		lane = t.s.meter
 	}
 	lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
-	n := len(t.tids)
-	return &tidJoinPartCursor{
-		t: t, filter: filter, lane: lane,
-		i: part * n / nparts, end: (part + 1) * n / nparts,
+	return &tidJoinPartCursor{t: t, filter: filter, lane: lane, i: lo, end: hi}
+}
+
+// JoinBounds returns histogram-guided TID boundaries splitting a TID join
+// into nparts lanes of approximately equal estimated cost: every TID pays
+// probe + fetch + row CPU, and the transmit-and-process cost (RowTransmit +
+// perMatch) is scaled by the match density of the TID's home page under
+// filter. Nil when hints are disabled or the table is empty.
+func (t *TIDTable) JoinBounds(filter predicate.Filter, nparts int, perMatch int64) []int {
+	s := t.s
+	if s.noHints || nparts < 2 || len(t.tids) == 0 {
+		return nil
 	}
+	costs := s.meter.Costs()
+	base := costs.IndexProbe + costs.TIDFetch + costs.ServerRowCPU
+	hints := s.table.PartitionHints(filter)
+	per := costs.RowTransmit + perMatch
+	weights := make([]int64, len(t.tids))
+	for i, tid := range t.tids {
+		w := base
+		if hints == nil {
+			w += per
+		} else if h := hints[tid.Page]; h.Rows > 0 {
+			w += per * h.Match / h.Rows
+		}
+		weights[i] = w
+	}
+	return WeightedBounds(weights, nparts)
 }
 
 // tidJoinPartCursor is a tidJoinCursor restricted to a TID range, charging a

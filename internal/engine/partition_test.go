@@ -111,3 +111,62 @@ func TestScanPartitionLaneCharging(t *testing.T) {
 		t.Errorf("partition scan with lanes charged the server meter by %v", srv.Meter().Since(before))
 	}
 }
+
+// TestPartitionOverSubscription pins the nparts > units behavior of every
+// partitioned source: partitions past the unit count come back empty, no
+// cursor panics, and the union still covers every unit exactly once — for
+// tiny tables (down to a single row) and for empty auxiliary structures.
+func TestPartitionOverSubscription(t *testing.T) {
+	all := predicate.MatchAll()
+	none := predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 9}}) // card 4: matches nothing
+	for _, n := range []int{1, 3, 40, 700} {
+		srv, _ := partitionTestServer(t, n)
+		ks := srv.OpenKeyset(all)
+		emptyKS := srv.OpenKeyset(none)
+		tt := srv.CopyTIDs(all)
+		emptyTT := srv.CopyTIDs(none)
+		sources := []struct {
+			name  string
+			units int
+			open  func(part, nparts int) Cursor
+		}{
+			{"server-scan", srv.NumPages(), func(p, np int) Cursor {
+				return srv.OpenScanPartition(all, p, np, nil)
+			}},
+			{"keyset", ks.Size(), func(p, np int) Cursor {
+				return ks.OpenScanPartition(nil, p, np, nil)
+			}},
+			{"keyset-empty", emptyKS.Size(), func(p, np int) Cursor {
+				return emptyKS.OpenScanPartition(nil, p, np, nil)
+			}},
+			{"tid-join", tt.Size(), func(p, np int) Cursor {
+				return tt.OpenJoinPartition(all, p, np, nil)
+			}},
+			{"tid-join-empty", emptyTT.Size(), func(p, np int) Cursor {
+				return emptyTT.OpenJoinPartition(all, p, np, nil)
+			}},
+		}
+		for _, src := range sources {
+			want := len(drain(src.open(0, 1)))
+			for _, nparts := range []int{src.units + 1, 2*src.units + 3, 16} {
+				if nparts < 1 {
+					nparts = 1
+				}
+				got, empties := 0, 0
+				for p := 0; p < nparts; p++ {
+					rows := len(drain(src.open(p, nparts)))
+					if rows == 0 {
+						empties++
+					}
+					got += rows
+				}
+				if got != want {
+					t.Errorf("n=%d %s nparts=%d: drained %d rows, want %d", n, src.name, nparts, got, want)
+				}
+				if nparts > src.units && empties == 0 && src.units > 0 {
+					t.Errorf("n=%d %s nparts=%d over %d units: expected empty partitions", n, src.name, nparts, src.units)
+				}
+			}
+		}
+	}
+}

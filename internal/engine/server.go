@@ -15,10 +15,11 @@ import (
 // keeps the data.Schema alongside the engine table so that predicates
 // expressed over attribute indices can be pushed down.
 type Server struct {
-	eng    *Engine
-	meter  *sim.Meter
-	schema *data.Schema
-	table  *Table
+	eng     *Engine
+	meter   *sim.Meter
+	schema  *data.Schema
+	table   *Table
+	noHints bool // disable histogram-guided partition bounds (ablation)
 }
 
 // NewServer creates a server around an engine and loads the dataset into a
@@ -40,6 +41,16 @@ func NewServer(eng *Engine, name string, ds *data.Dataset) (*Server, error) {
 
 // Engine returns the underlying SQL engine (for SQL-based baselines).
 func (s *Server) Engine() *Engine { return s.eng }
+
+// SetSplitHints toggles histogram-guided partition bounds (PageBounds,
+// ScanBounds, JoinBounds and the weighted aux builders). Hints are enabled
+// by default; disabling them restores equal-width splits everywhere, the
+// ablation arm of the skew experiment. Derived servers (CopySubset) inherit
+// the setting.
+func (s *Server) SetSplitHints(on bool) { s.noHints = !on }
+
+// SplitHints reports whether histogram-guided partition bounds are enabled.
+func (s *Server) SplitHints() bool { return !s.noHints }
 
 // Meter returns the server's meter.
 func (s *Server) Meter() *sim.Meter { return s.meter }
@@ -156,18 +167,67 @@ func (s *Server) OpenScanPartition(f predicate.Filter, part, nparts int, lane *s
 	if part < 0 || nparts < 1 || part >= nparts {
 		panic(fmt.Sprintf("engine: invalid scan partition %d of %d", part, nparts))
 	}
+	lo, hi := rangeOf(part, nparts, s.table.heap.NumPages(), nil)
+	return s.OpenScanRange(f, lo, hi, lane)
+}
+
+// OpenScanRange is OpenScanPartition generalized to an explicit page range
+// [loPage, hiPage): the caller picks the boundaries, typically from
+// PageBounds so lanes receive approximately equal estimated work rather than
+// equal pages. The cost model and determinism rules are identical to
+// OpenScanPartition. Empty ranges are valid (an empty lane of a skewed
+// split) and yield no rows.
+func (s *Server) OpenScanRange(f predicate.Filter, loPage, hiPage int, lane *sim.Meter) Cursor {
+	np := s.table.heap.NumPages()
+	if loPage < 0 || hiPage < loPage || hiPage > np {
+		panic(fmt.Sprintf("engine: invalid scan range [%d, %d) of %d pages", loPage, hiPage, np))
+	}
 	if lane == nil {
 		lane = s.meter
 	}
-	np := s.table.heap.NumPages()
 	lane.Charge(sim.CtrServerScans, lane.Costs().CursorOpen, 1)
 	return &partScanCursor{
 		s:      s,
 		lane:   lane,
 		filter: f,
-		page:   storage.PageID(part * np / nparts),
-		end:    storage.PageID((part + 1) * np / nparts),
+		page:   storage.PageID(loPage),
+		end:    storage.PageID(hiPage),
 	}
+}
+
+// PageBounds returns histogram-guided page boundaries splitting a scan with
+// filter f into nparts lanes of approximately equal estimated cost: per page,
+// one page read, per-row CPU, and perMatch — the caller's full per-matching-
+// row cost (transmission, client-side counting, staging writes, copy writes
+// ... whatever the scan feeds) — times the estimated matching rows. The
+// result is WeightedBounds-shaped (nparts+1 monotone entries) and a pure
+// function of the table statistics and the filter; computing it charges
+// nothing. Returns nil — meaning "use equal-width" — when hints are disabled
+// or the table is empty.
+func (s *Server) PageBounds(f predicate.Filter, nparts int, perMatch int64) []int {
+	if s.noHints || nparts < 2 {
+		return nil
+	}
+	hints := s.table.PartitionHints(f)
+	if hints == nil {
+		return nil
+	}
+	costs := s.meter.Costs()
+	weights := make([]int64, len(hints))
+	for i, h := range hints {
+		weights[i] = costs.ServerPageIO + h.Rows*costs.ServerRowCPU + h.Match*perMatch
+	}
+	return WeightedBounds(weights, nparts)
+}
+
+// EstimateMatch returns the statistics-based estimate of how many table rows
+// match f, or -1 when hints are disabled (callers fall back to uniform
+// assumptions). Pure and unmetered, like PageBounds.
+func (s *Server) EstimateMatch(f predicate.Filter) int64 {
+	if s.noHints || s.table.stats == nil {
+		return -1
+	}
+	return s.table.stats.EstimateMatch(f)
 }
 
 // partScanCursor is a scanCursor restricted to a page range [page, end),
@@ -337,7 +397,7 @@ func (s *Server) CopySubset(f predicate.Filter) (*Server, error) {
 	if copyErr != nil {
 		return nil, copyErr
 	}
-	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t}, nil
+	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t, noHints: s.noHints}, nil
 }
 
 // Drop removes the server's table (used to free temp tables).

@@ -217,6 +217,30 @@ var checks = map[string]func(*Experiment) error{
 		}
 		return nil
 	},
+	"skew": func(e *Experiment) error {
+		eq, hist := e.Series[0].Points, e.Series[1].Points
+		// Histogram splits never cost wall-clock: at every worker count the
+		// skew-aware build is at least as fast as the equal-width build.
+		for i := range hist {
+			if hist[i].Seconds > eq[i].Seconds*1.001 {
+				return fmt.Errorf("histogram build (%.3fs) slower than equal-width (%.3fs) at %g workers",
+					hist[i].Seconds, eq[i].Seconds, hist[i].X)
+			}
+		}
+		// The headline claim: at the highest worker count the worst per-batch
+		// lane imbalance falls by at least 2x under histogram splits.
+		last := len(eq) - 1
+		eqImb := eq[last].Counters["max_lane_imbalance_ns"]
+		histImb := hist[last].Counters["max_lane_imbalance_ns"]
+		if eqImb <= 0 {
+			return fmt.Errorf("equal-width run shows no lane imbalance at %g workers", eq[last].X)
+		}
+		if histImb*2 > eqImb {
+			return fmt.Errorf("histogram imbalance %d ns not <= half of equal-width %d ns at %g workers",
+				histImb, eqImb, eq[last].X)
+		}
+		return nil
+	},
 	"sensitivity": func(e *Experiment) error {
 		caching, none := e.Series[0].Points, e.Series[1].Points
 		for i := range caching {

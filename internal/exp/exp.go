@@ -249,6 +249,7 @@ func Runners() []Runner {
 		{"abl-rule3", AblationRule3, "ablation: Rule 3 smallest-estimate-first admission"},
 		{"sensitivity", Sensitivity, "cost-model sensitivity of the headline orderings"},
 		{"scaling", ScalingWorkers, "parallel scan pipeline speedup, workers 1-8"},
+		{"skew", SkewPartitioning, "histogram-guided vs equal-width splits on a clustered table"},
 	}
 }
 

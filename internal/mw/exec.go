@@ -179,7 +179,7 @@ func (m *Middleware) Step() ([]*Result, error) {
 			scanSnap = m.meter.Snapshot()
 		}
 		var scanErr error
-		if sp := m.planParallel(b, budget); sp.nworkers > 1 {
+		if sp := m.planParallel(b, plan, budget); sp.nworkers > 1 {
 			var pres *parallelScanResult
 			pres, scanErr = m.runScanParallel(b, plan, live, sp, budget)
 			if scanErr == nil {

@@ -53,13 +53,14 @@ type parallelScanResult struct {
 // race-free and every lane's final state is a pure function of its
 // partition.
 type workerShard struct {
-	ccs      []*cc.Table  // index-aligned with the batch's live requests
-	shed     []bool       // requests dropped by this worker (local budget overflow)
-	memBufs  [][]data.Row // per memTee: captured rows, partition order
-	memDrop  []bool       // memTees abandoned by this worker
-	fileBufs [][]byte     // per fileTee: encoded captured rows
-	fileRows []int64      // per fileTee: rows in fileBufs
-	err      error
+	ccs       []*cc.Table          // index-aligned with the batch's live requests
+	shed      []bool               // requests dropped by this worker (local budget overflow)
+	memBufs   [][]data.Row         // per memTee: captured rows, partition order
+	memDrop   []bool               // memTees abandoned by this worker
+	fileBufs  [][]byte             // per fileTee: encoded captured rows
+	fileRows  []int64              // per fileTee: rows in fileBufs
+	fileStats []*engine.ValueStats // per fileTee: value histograms of the captured rows
+	err       error
 }
 
 // scanPlan describes how a batch's scan fans out: the worker count plus, for
@@ -67,39 +68,76 @@ type workerShard struct {
 // a page-partitioned server scan (base table or copy-table), a partitioned
 // keyset re-scan, or a partitioned TID join. nworkers == 1 means the
 // sequential path runs and the source fields are nil.
+//
+// bounds, when non-nil, holds nworkers+1 histogram-guided split points in
+// the source's partition units (heap pages, keyset/TID-table indexes, or
+// staged-file rows): lane w covers [bounds[w], bounds[w+1]), giving each
+// lane approximately equal estimated matching rows instead of equal units.
+// A nil bounds means the equal-width formula (the fallback whenever hints
+// are unavailable or disabled).
 type scanPlan struct {
 	nworkers int
 	srv      *engine.Server
 	keyset   *engine.Keyset
 	tidTab   *engine.TIDTable
+	bounds   []int
 }
 
 var seqScan = scanPlan{nworkers: 1}
 
-// planParallel decides how many workers service the batch and which
-// partitioned source the lanes scan. It returns the sequential plan whenever
-// the batch cannot or should not be partitioned: Workers <= 1, sources too
-// small to split, or a scan-start budget so tight that the per-worker slice
-// would truncate to zero — with a zero slice every lane would shed every
-// request on its first counted row even though the sequential path, policing
-// the whole budget, can succeed.
-func (m *Middleware) planParallel(b *batch, budget int64) scanPlan {
+// scanHintFilter returns the filter whose per-partition match estimates
+// drive the weighted split, which must be exactly the filter the partition
+// cursors will evaluate: the batch filter, or match-all under the
+// no-pushdown ablation (where every row is transmitted and weights are
+// uniform anyway).
+func (m *Middleware) scanHintFilter(b *batch) predicate.Filter {
+	if m.cfg.NoFilterPushdown {
+		return predicate.MatchAll()
+	}
+	return batchFilter(b.reqs)
+}
+
+// scanPerMatchCost estimates the middleware-side cost each transmitted
+// matching row incurs beyond the engine's transmit charge: one CC update
+// (at least one live request counts the row) plus the file-write cost per
+// staging tee it feeds. This weights the split boundaries only — no charge
+// is ever derived from it.
+func (m *Middleware) scanPerMatchCost(plan *stagePlan) int64 {
+	costs := m.meter.Costs()
+	per := costs.CCUpdate
+	if plan != nil {
+		per += int64(len(plan.fileTees)) * costs.FileRowWrite
+	}
+	return per
+}
+
+// planParallel decides how many workers service the batch, which partitioned
+// source the lanes scan, and — when per-page statistics are available — the
+// histogram-guided split boundaries (scanPlan.bounds) that give each lane
+// approximately equal estimated work. plan carries the batch's staging tees
+// so their write costs enter the weighting; it may be nil. It returns the
+// sequential plan whenever the batch cannot or should not be partitioned:
+// Workers <= 1, sources too small to split, or a scan-start budget so tight
+// that the per-worker slice would truncate to zero — with a zero slice every
+// lane would shed every request on its first counted row even though the
+// sequential path, policing the whole budget, can succeed.
+func (m *Middleware) planParallel(b *batch, plan *stagePlan, budget int64) scanPlan {
 	w := m.cfg.Workers
 	if w <= 1 {
 		return seqScan
 	}
-	plan := scanPlan{}
+	sp := scanPlan{}
 	switch b.kind {
 	case srcMemory:
 		if n := len(b.stage.mem); n < w {
 			w = n
 		}
-		plan = scanPlan{nworkers: w}
+		sp = scanPlan{nworkers: w}
 	case srcFile:
 		if n := b.stage.file.rows; n < int64(w) {
 			w = int(n)
 		}
-		plan = scanPlan{nworkers: w}
+		sp = scanPlan{nworkers: w}
 	case srcServer:
 		// Resolve the auxiliary structure up front (the sequential path does
 		// this at scan start; a structure built here is found and reused by
@@ -111,12 +149,12 @@ func (m *Middleware) planParallel(b *batch, budget int64) scanPlan {
 			if n := aux.keyset.Size(); n < w {
 				w = n
 			}
-			plan = scanPlan{nworkers: w, keyset: aux.keyset}
+			sp = scanPlan{nworkers: w, keyset: aux.keyset}
 		case aux != nil && aux.tidTab != nil:
 			if n := aux.tidTab.Size(); n < w {
 				w = n
 			}
-			plan = scanPlan{nworkers: w, tidTab: aux.tidTab}
+			sp = scanPlan{nworkers: w, tidTab: aux.tidTab}
 		default:
 			srv := m.srv
 			if aux != nil && aux.subSrv != nil {
@@ -125,17 +163,83 @@ func (m *Middleware) planParallel(b *batch, budget int64) scanPlan {
 			if np := srv.NumPages(); np < w {
 				w = np
 			}
-			plan = scanPlan{nworkers: w, srv: srv}
+			sp = scanPlan{nworkers: w, srv: srv}
 		}
-		plan.nworkers = w
+		sp.nworkers = w
 	}
-	if plan.nworkers < 2 {
+	if sp.nworkers < 2 {
 		return seqScan
 	}
-	if budget/int64(plan.nworkers) == 0 {
+	if budget/int64(sp.nworkers) == 0 {
 		return seqScan // zero per-worker budget slice
 	}
-	return plan
+	sp.bounds = m.splitBounds(b, plan, sp)
+	return sp
+}
+
+// splitBounds computes the histogram-guided split for the chosen source, or
+// nil for the equal-width default. All bounds are pure functions of table /
+// file statistics and the batch filter, charged to no meter, so the split is
+// deterministic and free — the statistics were collected during writes the
+// simulation already paid for.
+func (m *Middleware) splitBounds(b *batch, plan *stagePlan, sp scanPlan) []int {
+	filter := m.scanHintFilter(b)
+	perMatch := m.scanPerMatchCost(plan)
+	costs := m.meter.Costs()
+	switch {
+	case b.kind == srcFile:
+		return m.fileSplitBounds(b.stage.file, filter, sp.nworkers, perMatch)
+	case b.kind != srcServer:
+		// Memory stages read uniformly cheap resident rows; equal-width row
+		// ranges are already balanced to within the per-match CC cost.
+		return nil
+	case sp.keyset != nil:
+		return sp.keyset.ScanBounds(&filter, sp.nworkers, perMatch)
+	case sp.tidTab != nil:
+		return sp.tidTab.JoinBounds(filter, sp.nworkers, perMatch)
+	default:
+		// PageBounds takes the full per-matching-row cost; transmission is
+		// not implied (aux builders transmit nothing), so add it here.
+		return sp.srv.PageBounds(filter, sp.nworkers, costs.RowTransmit+perMatch)
+	}
+}
+
+// fileSplitBounds converts the staged file's per-bucket statistics into row
+// split points: bucket weights (read cost per resident row plus perMatch per
+// estimated matching row) choose bucket boundaries, and the buckets' row
+// counts map those to file row offsets.
+func (m *Middleware) fileSplitBounds(sf *stageFile, filter predicate.Filter, nparts int, perMatch int64) []int {
+	if m.cfg.NoHistogramHints || sf == nil || sf.stats == nil {
+		return nil
+	}
+	hints := sf.stats.BucketHints(filter)
+	if hints == nil {
+		return nil
+	}
+	readCost := m.meter.Costs().FileRowRead
+	weights := make([]int64, len(hints))
+	for i, h := range hints {
+		weights[i] = h.Rows*readCost + h.Match*perMatch
+	}
+	bb := engine.WeightedBounds(weights, nparts)
+	if bb == nil {
+		return nil
+	}
+	// Bucket index -> row offset via the buckets' row-count prefix sums.
+	offsets := make([]int64, len(hints)+1)
+	for i, h := range hints {
+		offsets[i+1] = offsets[i] + h.Rows
+	}
+	if offsets[len(hints)] != sf.rows {
+		// Statistics out of step with the file (should not happen); refuse
+		// to split on them rather than mis-tile the rows.
+		return nil
+	}
+	bounds := make([]int, len(bb))
+	for i, b := range bb {
+		bounds[i] = int(offsets[b])
+	}
+	return bounds
 }
 
 // runScanParallel executes the batch's scan with nworkers goroutines over
@@ -161,15 +265,19 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
 		sh := &workerShard{
-			ccs:      make([]*cc.Table, len(live)),
-			shed:     make([]bool, len(live)),
-			memBufs:  make([][]data.Row, len(plan.memTees)),
-			memDrop:  make([]bool, len(plan.memTees)),
-			fileBufs: make([][]byte, len(plan.fileTees)),
-			fileRows: make([]int64, len(plan.fileTees)),
+			ccs:       make([]*cc.Table, len(live)),
+			shed:      make([]bool, len(live)),
+			memBufs:   make([][]data.Row, len(plan.memTees)),
+			memDrop:   make([]bool, len(plan.memTees)),
+			fileBufs:  make([][]byte, len(plan.fileTees)),
+			fileRows:  make([]int64, len(plan.fileTees)),
+			fileStats: make([]*engine.ValueStats, len(plan.fileTees)),
 		}
 		for i := range sh.ccs {
 			sh.ccs[i] = cc.New()
+		}
+		for k := range sh.fileStats {
+			sh.fileStats[k] = m.files.newStats()
 		}
 		shards[w] = sh
 		var ltr *obs.Tracer
@@ -280,10 +388,13 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 
 	// File tees: append the worker buffers to the real staging file in
 	// partition order. The per-row write costs were charged in the lanes;
-	// this is the physical concatenation only.
+	// this is the physical concatenation only. Each worker's value
+	// statistics append in the same order, so the file's buckets describe
+	// its rows exactly regardless of how many lanes captured them.
 	for k, t := range plan.fileTees {
 		for _, sh := range shards {
 			t.writer.writeEncoded(sh.fileBufs[k], sh.fileRows[k])
+			t.writer.appendStats(sh.fileStats[k])
 		}
 	}
 	return res, nil
@@ -358,6 +469,7 @@ func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, sp sc
 			if t.filter.Eval(row) {
 				sh.fileBufs[k] = row.Encode(sh.fileBufs[k])
 				sh.fileRows[k]++
+				sh.fileStats[k].Note(row)
 				lane.Charge(sim.CtrFileRowsWritten, costs.FileRowWrite, 1)
 			}
 		}
@@ -383,8 +495,7 @@ func (m *Middleware) scanPartition(b *batch, sp scanPlan, part, nparts int, lane
 	switch b.kind {
 	case srcMemory:
 		rows := b.stage.mem
-		lo := part * len(rows) / nparts
-		hi := (part + 1) * len(rows) / nparts
+		lo, hi := engine.RangeOf(part, nparts, len(rows), sp.bounds)
 		cost := lane.Costs().MemRowRead
 		for _, row := range rows[lo:hi] {
 			lane.Charge(sim.CtrMemRowsRead, cost, 1)
@@ -392,25 +503,27 @@ func (m *Middleware) scanPartition(b *batch, sp scanPlan, part, nparts int, lane
 		}
 		return nil
 	case srcFile:
-		return m.files.scanPartition(b.stage.file, part, nparts, lane, func(row data.Row) error {
+		sf := b.stage.file
+		lo, hi := engine.RangeOf(part, nparts, int(sf.rows), sp.bounds)
+		return m.files.scanRange(sf, int64(lo), int64(hi), lane, func(row data.Row) error {
 			process(row)
 			return nil
 		})
 	case srcServer:
-		filter := batchFilter(b.reqs)
-		if m.cfg.NoFilterPushdown {
-			// Same ablation as the sequential path: every partition row is
-			// transmitted and filtered middleware-side.
-			filter = predicate.MatchAll()
-		}
+		// The hint filter is, by construction, the filter the cursor pushes
+		// down — the weighted bounds and the scan see the same predicate.
+		filter := m.scanHintFilter(b)
 		var cur engine.Cursor
 		switch {
 		case sp.keyset != nil:
-			cur = sp.keyset.OpenScanPartition(&filter, part, nparts, lane)
+			lo, hi := engine.RangeOf(part, nparts, sp.keyset.Size(), sp.bounds)
+			cur = sp.keyset.OpenScanRange(&filter, lo, hi, lane)
 		case sp.tidTab != nil:
-			cur = sp.tidTab.OpenJoinPartition(filter, part, nparts, lane)
+			lo, hi := engine.RangeOf(part, nparts, sp.tidTab.Size(), sp.bounds)
+			cur = sp.tidTab.OpenJoinRange(filter, lo, hi, lane)
 		default:
-			cur = sp.srv.OpenScanPartition(filter, part, nparts, lane)
+			lo, hi := engine.RangeOf(part, nparts, sp.srv.NumPages(), sp.bounds)
+			cur = sp.srv.OpenScanRange(filter, lo, hi, lane)
 		}
 		defer cur.Close()
 		for {

@@ -1,6 +1,7 @@
 package mw
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/cc"
@@ -68,11 +69,74 @@ func (m *Middleware) fallbackWorkers(reqs []*Request) int {
 	return w
 }
 
+// fallbackArmWeights estimates each arm's scan cost: the page I/O (cold
+// scans only) and per-row CPU every arm pays, plus one aggregation step per
+// row the arm's request filter is estimated to match, from the table's
+// per-page statistics. Returns nil when hints are disabled, sending the
+// caller back to round-robin assignment.
+func (m *Middleware) fallbackArmWeights(units []fbArm, reqs []*Request, warm bool) []int64 {
+	costs := m.meter.Costs()
+	est := make([]int64, len(reqs))
+	for i, r := range reqs {
+		e := m.srv.EstimateMatch(predicate.Or(r.Path))
+		if e < 0 {
+			return nil
+		}
+		est[i] = e
+	}
+	base := m.srv.NumRows() * costs.ServerRowCPU
+	if !warm {
+		base += int64(m.srv.NumPages()) * costs.ServerPageIO
+	}
+	weights := make([]int64, len(units))
+	for k, u := range units {
+		weights[k] = base + est[u.reqIdx]*costs.SQLAggRow
+	}
+	return weights
+}
+
+// fallbackArmLanes assigns each arm unit to a lane. With histogram hints a
+// deterministic longest-processing-time greedy packs heavy arms first onto
+// the least-loaded lane (ties break toward lower unit index and lower lane
+// index), so a batch whose requests match very different row counts still
+// balances; without hints it is the static round-robin k % nworkers. Either
+// way the schedule is a pure function of the unit list and table stats, and
+// shards still merge in global unit order, so results never depend on it.
+func (m *Middleware) fallbackArmLanes(units []fbArm, reqs []*Request, nworkers int, warm bool) []int {
+	laneOf := make([]int, len(units))
+	weights := m.fallbackArmWeights(units, reqs, warm)
+	if weights == nil {
+		for k := range laneOf {
+			laneOf[k] = k % nworkers
+		}
+		return laneOf
+	}
+	order := make([]int, len(units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	load := make([]int64, nworkers)
+	for _, k := range order {
+		best := 0
+		for l := 1; l < nworkers; l++ {
+			if load[l] < load[best] {
+				best = l
+			}
+		}
+		laneOf[k] = best
+		load[best] += weights[k]
+	}
+	return laneOf
+}
+
 // runFallbackParallel services the fallback requests with nworkers lanes and
-// returns one counts table per request, in request order. Arm k runs on lane
-// k % nworkers — a static round-robin schedule that is a pure function of
-// the unit list — and the post-barrier merge charges the serial per-entry
-// shard-merge cost on the parent, like the parallel scan's CC merge.
+// returns one counts table per request, in request order. Arms are assigned
+// to lanes by fallbackArmLanes (weighted LPT under histogram hints,
+// round-robin otherwise) — a static schedule that is a pure function of the
+// unit list and table statistics — and the post-barrier merge charges the
+// serial per-entry shard-merge cost on the parent, like the parallel scan's
+// CC merge.
 func (m *Middleware) runFallbackParallel(reqs []*Request, nworkers int) []*cc.Table {
 	classIdx := m.schema.ClassIndex()
 	units := fallbackArms(reqs, classIdx)
@@ -95,6 +159,7 @@ func (m *Middleware) runFallbackParallel(reqs []*Request, nworkers int) []*cc.Ta
 	// or cold exactly like the serial UNION's arms would, without ever
 	// touching the pool from a goroutine.
 	warm := m.srv.WarmTable()
+	laneOf := m.fallbackArmLanes(units, reqs, nworkers, warm)
 
 	lanes := m.meter.Fork(nworkers)
 	ltrs := tr.ForkLanes(lanes)
@@ -109,7 +174,10 @@ func (m *Middleware) runFallbackParallel(reqs []*Request, nworkers int) []*cc.Ta
 		go func(w int, lane *sim.Meter, ltr *obs.Tracer) {
 			defer wg.Done()
 			costs := lane.Costs()
-			for k := w; k < len(units); k += nworkers {
+			for k := 0; k < len(units); k++ {
+				if laneOf[k] != w {
+					continue
+				}
 				u := units[k]
 				r := reqs[u.reqIdx]
 				asp := ltr.Start(obs.CatFallback, "fallback-arm").

@@ -178,6 +178,12 @@ type Config struct {
 	// FIFOScheduling disables Rule 3: eligible requests are admitted in
 	// arrival order instead of by increasing estimated counts-table size.
 	FIFOScheduling bool
+	// NoHistogramHints disables skew-aware partitioning: parallel scans,
+	// aux builds and fallback arms fall back to equal-width splits and
+	// round-robin arm assignment instead of consulting per-page value
+	// statistics. Results are unchanged; only lane balance (and therefore
+	// the virtual clock) differs.
+	NoHistogramHints bool
 
 	// Trace, when non-nil, receives one Event per executed batch — the
 	// scheduling decisions (source, serviced nodes, fallbacks, staging)
@@ -281,6 +287,9 @@ func New(srv *engine.Server, cfg Config) (*Middleware, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Propagate the hint ablation to the server so aux builders and bounds
+	// queries (engine-side histogram consumers) follow the same switch.
+	srv.SetSplitHints(!cfg.NoHistogramHints)
 	return &Middleware{
 		srv:     srv,
 		meter:   srv.Meter(),

@@ -308,6 +308,10 @@ func TestObsByteDeterminism(t *testing.T) {
 		// Partitioned aux builds and partitioned keyset / TID-join scans.
 		{"keyset/workers=4", Config{Staging: StageNone, Access: AccessKeyset, AuxThreshold: 0.6, Workers: 4}},
 		{"tidjoin/workers=4", Config{Staging: StageNone, Access: AccessTIDJoin, AuxThreshold: 0.6, Workers: 4}},
+		// Equal-width ablation: with histogram hints disabled the pipeline
+		// falls back to the part*n/nparts split everywhere and must stay just
+		// as reproducible.
+		{"nohints/workers=4", Config{Staging: StageFileAndMemory, Workers: 4, NoHistogramHints: true}},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -262,7 +262,7 @@ func TestPlanParallelPartitionsAuxPaths(t *testing.T) {
 		if b == nil || b.kind != srcServer {
 			t.Fatalf("access=%v: expected a server batch, got %+v", access, b)
 		}
-		sp := m.planParallel(b, m.memBudgetLeft())
+		sp := m.planParallel(b, nil, m.memBudgetLeft())
 		if sp.nworkers != 4 {
 			t.Errorf("access=%v: planParallel nworkers = %d, want 4", access, sp.nworkers)
 		}

@@ -1,0 +1,285 @@
+package mw
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// Property-test harness for every partitioned source: for seeded random
+// table sizes, filters and partition counts (including nparts greater than
+// the unit count and filters matching nothing), the split boundaries must be
+// monotone and cover the unit range exactly, and draining every partition
+// must yield the same row multiset as the sequential cursor — under both
+// histogram-guided and equal-width splits.
+
+// propDataset builds a dataset whose first attribute is clustered (row r has
+// attr0 = r*card/n, so equality filters on it select contiguous slabs — the
+// regime weighted splits exist for) and whose remaining attributes are
+// uniform.
+func propDataset(rng *rand.Rand, n int) *data.Dataset {
+	const card = 4
+	s := data.NewSchema(3, card, 2)
+	ds := data.NewDataset(s)
+	for i := 0; i < n; i++ {
+		r := make(data.Row, 4)
+		r[0] = data.Value(i * card / n)
+		r[1] = data.Value(rng.Intn(card))
+		r[2] = data.Value(rng.Intn(card))
+		r[3] = data.Value(rng.Intn(2))
+		ds.Append(r)
+	}
+	return ds
+}
+
+// propFilter draws a random filter: match-all, a single conjunction, or a
+// two-disjunct OR. Values range one past the attribute cardinality so some
+// equality conditions (and with them entire filters) match zero rows.
+func propFilter(rng *rand.Rand) predicate.Filter {
+	const card = 4
+	cond := func() predicate.Cond {
+		op := predicate.Eq
+		if rng.Intn(4) == 0 {
+			op = predicate.Ne
+		}
+		return predicate.Cond{Attr: rng.Intn(3), Op: op, Val: data.Value(rng.Intn(card + 1))}
+	}
+	conj := func() predicate.Conj {
+		cj := predicate.Conj{cond()}
+		if rng.Intn(2) == 0 {
+			cj = append(cj, cond())
+		}
+		return cj
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return predicate.MatchAll()
+	case 1, 2:
+		return predicate.Or(conj())
+	default:
+		return predicate.Or(conj(), conj())
+	}
+}
+
+// checkBounds asserts the structural invariants of a split: nil (equal-width
+// fallback) or exactly nparts+1 monotone offsets tiling [0, n].
+func checkBounds(t *testing.T, bounds []int, nparts, n int) {
+	t.Helper()
+	if bounds == nil {
+		return
+	}
+	if len(bounds) != nparts+1 {
+		t.Fatalf("bounds has %d entries, want %d", len(bounds), nparts+1)
+	}
+	if bounds[0] != 0 || bounds[nparts] != n {
+		t.Fatalf("bounds [%d, %d] do not tile [0, %d]", bounds[0], bounds[nparts], n)
+	}
+	for i := 1; i <= nparts; i++ {
+		if bounds[i] < bounds[i-1] {
+			t.Fatalf("bounds not monotone at %d: %v", i, bounds)
+		}
+	}
+}
+
+// drainCursor collects a cursor's rows as strings (the cursor may reuse its
+// row buffer, so rows are rendered immediately).
+func drainCursor(cur engine.Cursor) []string {
+	defer cur.Close()
+	var out []string
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, fmt.Sprint(row))
+	}
+}
+
+// checkMultiset asserts the concatenation of the per-partition draws equals
+// the sequential reference as a multiset — every row covered exactly once.
+// The partitioned cursors visit units in the same global order as the
+// sequential one (partitions are contiguous and tile in order), so equality
+// is checked on the concatenation first and only falls back to a sorted
+// comparison for the error message.
+func checkMultiset(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) == len(want) {
+		same := true
+		for i := range got {
+			if got[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	t.Fatalf("%s: partitions drained %d rows, sequential %d (or content differs)", label, len(got), len(want))
+}
+
+func propServer(t *testing.T, ds *data.Dataset) *engine.Server {
+	t.Helper()
+	srv, err := engine.NewServer(engine.New(sim.NewDefaultMeter(), 0), "cases", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// propTrials runs fn for a spread of seeded (size, filter, nparts)
+// combinations: sizes from a handful of rows to several pages, nparts from 1
+// to 16 — deliberately past the page count of the small tables — plus a
+// dedicated zero-match filter trial per size.
+func propTrials(t *testing.T, fn func(t *testing.T, rng *rand.Rand, ds *data.Dataset, f predicate.Filter, nparts int)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(443))
+	for _, n := range []int{7, 60, 350, 1100, 2300} {
+		ds := propDataset(rng, n)
+		for trial := 0; trial < 6; trial++ {
+			f := propFilter(rng)
+			if trial == 0 {
+				// Guaranteed zero-match: attr 0 never holds card+1.
+				f = predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 5}})
+			}
+			nparts := 1 + rng.Intn(16)
+			t.Run(fmt.Sprintf("n=%d/trial=%d/parts=%d", n, trial, nparts), func(t *testing.T) {
+				fn(t, rng, ds, f, nparts)
+			})
+		}
+	}
+}
+
+func TestPartitionPropertyServerScan(t *testing.T) {
+	propTrials(t, func(t *testing.T, rng *rand.Rand, ds *data.Dataset, f predicate.Filter, nparts int) {
+		srv := propServer(t, ds)
+		np := srv.NumPages()
+		want := drainCursor(srv.OpenScanPartition(f, 0, 1, nil))
+		for _, hints := range []bool{true, false} {
+			srv.SetSplitHints(hints)
+			bounds := srv.PageBounds(f, nparts, rng.Int63n(20_000))
+			if !hints && bounds != nil {
+				t.Fatal("PageBounds not nil with hints disabled")
+			}
+			checkBounds(t, bounds, nparts, np)
+			var got []string
+			for part := 0; part < nparts; part++ {
+				lo, hi := engine.RangeOf(part, nparts, np, bounds)
+				got = append(got, drainCursor(srv.OpenScanRange(f, lo, hi, nil))...)
+			}
+			checkMultiset(t, fmt.Sprintf("server scan (hints=%v)", hints), got, want)
+		}
+	})
+}
+
+func TestPartitionPropertyKeyset(t *testing.T) {
+	propTrials(t, func(t *testing.T, rng *rand.Rand, ds *data.Dataset, f predicate.Filter, nparts int) {
+		srv := propServer(t, ds)
+		ks := srv.OpenKeyset(f)
+		// Re-scan under a residual filter half the time, a plain fetch-all
+		// otherwise — both keyset read modes.
+		var sproc *predicate.Filter
+		if rng.Intn(2) == 0 {
+			rf := propFilter(rng)
+			sproc = &rf
+		}
+		n := ks.Size()
+		want := drainCursor(ks.OpenScanPartition(sproc, 0, 1, nil))
+		for _, hints := range []bool{true, false} {
+			srv.SetSplitHints(hints)
+			bounds := ks.ScanBounds(sproc, nparts, rng.Int63n(20_000))
+			if !hints && bounds != nil {
+				t.Fatal("ScanBounds not nil with hints disabled")
+			}
+			checkBounds(t, bounds, nparts, n)
+			var got []string
+			for part := 0; part < nparts; part++ {
+				lo, hi := engine.RangeOf(part, nparts, n, bounds)
+				got = append(got, drainCursor(ks.OpenScanRange(sproc, lo, hi, nil))...)
+			}
+			checkMultiset(t, fmt.Sprintf("keyset re-scan (hints=%v)", hints), got, want)
+		}
+	})
+}
+
+func TestPartitionPropertyTIDJoin(t *testing.T) {
+	propTrials(t, func(t *testing.T, rng *rand.Rand, ds *data.Dataset, f predicate.Filter, nparts int) {
+		srv := propServer(t, ds)
+		tt := srv.CopyTIDs(f)
+		// The join applies the batch filter; use the same filter the TIDs
+		// qualify under half the time, a fresh one otherwise.
+		jf := f
+		if rng.Intn(2) == 0 {
+			jf = propFilter(rng)
+		}
+		n := tt.Size()
+		want := drainCursor(tt.OpenJoinPartition(jf, 0, 1, nil))
+		for _, hints := range []bool{true, false} {
+			srv.SetSplitHints(hints)
+			bounds := tt.JoinBounds(jf, nparts, rng.Int63n(20_000))
+			if !hints && bounds != nil {
+				t.Fatal("JoinBounds not nil with hints disabled")
+			}
+			checkBounds(t, bounds, nparts, n)
+			var got []string
+			for part := 0; part < nparts; part++ {
+				lo, hi := engine.RangeOf(part, nparts, n, bounds)
+				got = append(got, drainCursor(tt.OpenJoinRange(jf, lo, hi, nil))...)
+			}
+			checkMultiset(t, fmt.Sprintf("tid join (hints=%v)", hints), got, want)
+		}
+	})
+}
+
+func TestPartitionPropertyFileStore(t *testing.T) {
+	propTrials(t, func(t *testing.T, rng *rand.Rand, ds *data.Dataset, f predicate.Filter, nparts int) {
+		m, _ := newMW(t, ds, Config{})
+		fw, err := m.files.create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range ds.Rows {
+			fw.Write(r)
+		}
+		sf, err := fw.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.files.remove(sf)
+		n := int(sf.rows)
+		var want []string
+		if err := m.files.scan(sf, func(row data.Row) error {
+			want = append(want, fmt.Sprint(row))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, noHints := range []bool{false, true} {
+			m.cfg.NoHistogramHints = noHints
+			bounds := m.fileSplitBounds(sf, f, nparts, rng.Int63n(20_000))
+			if noHints && bounds != nil {
+				t.Fatal("fileSplitBounds not nil with hints disabled")
+			}
+			checkBounds(t, bounds, nparts, n)
+			var got []string
+			for part := 0; part < nparts; part++ {
+				lo, hi := engine.RangeOf(part, nparts, n, bounds)
+				if err := m.files.scanRange(sf, int64(lo), int64(hi), m.Meter(), func(row data.Row) error {
+					got = append(got, fmt.Sprint(row))
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkMultiset(t, fmt.Sprintf("file store (noHints=%v)", noHints), got, want)
+		}
+	})
+}

@@ -37,11 +37,15 @@ type stageData struct {
 	subSrv *engine.Server
 }
 
-// stageFile is one middleware staging file of binary-encoded rows.
+// stageFile is one middleware staging file of binary-encoded rows. stats
+// carries per-bucket value histograms collected while the file was written
+// (buckets are contiguous row runs), which later batches over the file use
+// to choose skew-aware partition boundaries.
 type stageFile struct {
 	path  string
 	rows  int64
 	bytes int64
+	stats *engine.ValueStats
 }
 
 // fileStore manages the middleware's staging files: real files in a private
@@ -100,13 +104,36 @@ func (fs *fileStore) hasRoomFor(rows int64) bool {
 
 // fileWriter streams rows into a new staging file.
 type fileWriter struct {
-	fs   *fileStore
-	f    *os.File
-	w    *bufio.Writer
-	sf   *stageFile
-	buf  []byte
-	cost int64
-	err  error
+	fs    *fileStore
+	f     *os.File
+	w     *bufio.Writer
+	sf    *stageFile
+	buf   []byte
+	cost  int64
+	stats *engine.ValueStats
+	err   error
+}
+
+// statsRowsPerBucket is the bucket granularity of staging-file statistics:
+// the file analogue of a heap page, sized so one bucket covers about one
+// page worth of rows.
+func (fs *fileStore) statsRowsPerBucket() int64 {
+	rb := fs.schema.RowBytes()
+	if rb <= 0 {
+		return 1
+	}
+	n := int64(8192 / rb)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// newStats creates an empty value-statistics sketch with the store's bucket
+// granularity (used both by writers and by parallel scan workers whose
+// shard stats are appended to a writer afterwards).
+func (fs *fileStore) newStats() *engine.ValueStats {
+	return engine.NewValueStats(fs.schema.NumCols(), fs.statsRowsPerBucket())
 }
 
 // create opens a new staging file, charging the file-open cost.
@@ -124,11 +151,12 @@ func (fs *fileStore) create() (*fileWriter, error) {
 	}
 	fs.meter.Charge(sim.CtrFilesCreated, fs.meter.Costs().FileOpen, 1)
 	return &fileWriter{
-		fs:   fs,
-		f:    f,
-		w:    bufio.NewWriterSize(f, 1<<16),
-		sf:   &stageFile{path: path},
-		cost: fs.meter.Costs().FileRowWrite,
+		fs:    fs,
+		f:     f,
+		w:     bufio.NewWriterSize(f, 1<<16),
+		sf:    &stageFile{path: path},
+		cost:  fs.meter.Costs().FileRowWrite,
+		stats: fs.newStats(),
 	}, nil
 }
 
@@ -144,6 +172,7 @@ func (fw *fileWriter) Write(r data.Row) {
 	}
 	fw.sf.rows++
 	fw.sf.bytes += int64(len(fw.buf))
+	fw.stats.Note(r)
 	fw.fs.meter.Charge(sim.CtrFileRowsWritten, fw.cost, 1)
 }
 
@@ -164,6 +193,7 @@ func (fw *fileWriter) Finish() (*stageFile, error) {
 	}
 	fw.fs.bytesInUse += fw.sf.bytes
 	fw.fs.live++
+	fw.sf.stats = fw.stats
 	return fw.sf, nil
 }
 
@@ -189,6 +219,13 @@ func (fw *fileWriter) writeEncoded(buf []byte, rows int64) {
 	fw.sf.bytes += int64(len(buf))
 }
 
+// appendStats concatenates a scan worker's shard statistics after the
+// writer's, in the same order writeEncoded appended the rows, keeping the
+// bucket sequence aligned with the file's physical row order.
+func (fw *fileWriter) appendStats(vs *engine.ValueStats) {
+	fw.stats.Append(vs)
+}
+
 // scan reads every row of the file in order, charging the per-row file read
 // cost to the store's meter, and calls fn. fn must not retain the row.
 // Parallel partition reads are not spanned here: each worker's lane span
@@ -201,11 +238,20 @@ func (fs *fileStore) scan(sf *stageFile, fn func(data.Row) error) error {
 }
 
 // scanPartition reads one contiguous row range of the file — partition part
-// of nparts — charging the per-row file read cost to meter. The ranges for
-// parts 0..nparts-1 tile the file exactly, in order.
+// of nparts, equal-width — charging the per-row file read cost to meter. The
+// ranges for parts 0..nparts-1 tile the file exactly, in order.
 func (fs *fileStore) scanPartition(sf *stageFile, part, nparts int, meter *sim.Meter, fn func(data.Row) error) error {
 	lo := int64(part) * sf.rows / int64(nparts)
 	hi := int64(part+1) * sf.rows / int64(nparts)
+	return fs.scanRange(sf, lo, hi, meter, fn)
+}
+
+// scanRange reads the file's rows [lo, hi) — boundaries typically chosen by
+// the histogram-guided split — charging the per-row file read cost to meter.
+func (fs *fileStore) scanRange(sf *stageFile, lo, hi int64, meter *sim.Meter, fn func(data.Row) error) error {
+	if lo < 0 || hi < lo || hi > sf.rows {
+		return fmt.Errorf("mw: invalid staging-file range [%d, %d) of %d rows", lo, hi, sf.rows)
+	}
 	if lo >= hi {
 		return nil
 	}

@@ -179,6 +179,12 @@ func Or(conjs ...Conj) Filter {
 // All reports whether the filter accepts every row.
 func (f Filter) All() bool { return f.all }
 
+// Conjs returns the filter's disjuncts (nil for match-all and empty
+// filters). Callers must not modify the returned slice; it is exposed so
+// cardinality estimators (engine partition hints) can walk the disjunction
+// without re-parsing the SQL rendering.
+func (f Filter) Conjs() []Conj { return f.conjs }
+
 // Empty reports whether the filter accepts no rows.
 func (f Filter) Empty() bool { return !f.all && len(f.conjs) == 0 }
 

@@ -21,10 +21,16 @@ gate "go vet ./..." go vet ./...
 # repolint: the repository's own static-analysis suite (internal/analysis):
 # determinism, span/fork hygiene and resource-release invariants.
 gate "go run ./cmd/repolint ./..." go run ./cmd/repolint ./...
-gate "go test ./..." go test ./...
+# The full-scale experiment suite (internal/exp TestAllShapeChecksPass) runs
+# close to go test's default 600s per-package timeout on a loaded machine;
+# give it explicit headroom rather than flaking under contention.
+gate "go test ./..." go test -timeout 1800s ./...
 # -short skips the full-scale experiment suites (internal/exp), which exceed
 # the test timeout under the race detector; all goroutine-spawning code
 # (internal/mw parallel scans, internal/exp tiny-scale scaling run) still
 # executes under -race.
 gate "go test -race -short ./..." go test -race -short ./...
+# Quarter-scale skew shape check: histogram-guided splits must cut the worst
+# lane imbalance >= 2x vs equal-width at 8 workers, with identical counts.
+gate "experiments -run skew -check" go run ./cmd/experiments -run skew -scale 0.25 -check
 echo "verify: all green"
