@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// clusteredColumnarServer builds a table whose attr 0 is clustered by row
+// position (the regime zone maps exploit): value i*regions/n, so each value
+// occupies a contiguous run of row groups.
+func clusteredColumnarServer(t *testing.T, n, regions int) (*Server, *data.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	s := data.NewSchema(3, regions, 2)
+	ds := data.NewDataset(s)
+	for i := 0; i < n; i++ {
+		ds.Append(data.Row{
+			data.Value(i * regions / n), data.Value(rng.Intn(regions)),
+			data.Value(rng.Intn(regions)), data.Value(rng.Intn(2)),
+		})
+	}
+	srv, err := NewServer(New(sim.NewDefaultMeter(), 0), "cases", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ds
+}
+
+// drainColumnar materializes every selected row of a columnar range scan.
+func drainColumnar(srv *Server, f predicate.Filter, lo, hi int) []data.Row {
+	var out []data.Row
+	srv.ScanColumnarRange(f, nil, lo, hi, nil, func(blk *ColBlock) bool {
+		for _, i := range blk.Sel {
+			out = append(out, blk.MaterializeRow(i, nil))
+		}
+		return true
+	})
+	return out
+}
+
+func sameRows(a, b []data.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestColumnarScanMatchesRowScan: the columnar scan yields exactly the rows
+// the row cursor yields, in the same order, for a spread of filters.
+func TestColumnarScanMatchesRowScan(t *testing.T) {
+	srv, _ := clusteredColumnarServer(t, 11000, 4)
+	ng := srv.NumColGroups()
+	filters := []predicate.Filter{
+		predicate.MatchAll(),
+		predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 2}}),
+		predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 9}}), // matches nothing
+		predicate.Or(
+			predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 1}, {Attr: 1, Op: predicate.Ne, Val: 3}},
+			predicate.Conj{{Attr: 2, Op: predicate.Eq, Val: 0}},
+		),
+	}
+	for fi, f := range filters {
+		want := drain(srv.OpenScan(f))
+		got := drainColumnar(srv, f, 0, ng)
+		if !sameRows(got, want) {
+			t.Fatalf("filter %d: columnar scan differs from row scan (%d vs %d rows)", fi, len(got), len(want))
+		}
+	}
+}
+
+// TestColumnarPartitionsCoverGroupsExactlyOnce: concatenating disjoint group
+// ranges reproduces the full columnar scan for any part count.
+func TestColumnarPartitionsCoverGroupsExactlyOnce(t *testing.T) {
+	srv, _ := clusteredColumnarServer(t, 9000, 4)
+	ng := srv.NumColGroups()
+	f := predicate.Or(predicate.Conj{{Attr: 1, Op: predicate.Ne, Val: 1}})
+	want := drainColumnar(srv, f, 0, ng)
+	for _, nparts := range []int{1, 2, 3, ng, ng + 2} {
+		var got []data.Row
+		for p := 0; p < nparts; p++ {
+			lo, hi := RangeOf(p, nparts, ng, nil)
+			got = append(got, drainColumnar(srv, f, lo, hi)...)
+		}
+		if !sameRows(got, want) {
+			t.Fatalf("nparts=%d: partitioned columnar scan differs (%d vs %d rows)", nparts, len(got), len(want))
+		}
+	}
+}
+
+// TestColumnarZoneMapSkipCharges: a filter selecting one clustered region
+// must skip most groups, and skipped groups charge no page I/O at all.
+func TestColumnarZoneMapSkipCharges(t *testing.T) {
+	srv, _ := clusteredColumnarServer(t, 12*storage.RowGroupSize, 6)
+	m := srv.Meter()
+	f := predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 0}})
+
+	snapAll := m.Snapshot()
+	drainColumnar(srv, predicate.MatchAll(), 0, srv.NumColGroups())
+	allPages := m.CountSince(snapAll, sim.CtrServerPages)
+
+	snapSel := m.Snapshot()
+	drainColumnar(srv, f, 0, srv.NumColGroups())
+	selPages := m.CountSince(snapSel, sim.CtrServerPages)
+	scanned := m.CountSince(snapSel, sim.CtrColGroupsScanned)
+	skipped := m.CountSince(snapSel, sim.CtrColGroupsSkipped)
+
+	if scanned+skipped != int64(srv.NumColGroups()) {
+		t.Fatalf("scanned %d + skipped %d != %d groups", scanned, skipped, srv.NumColGroups())
+	}
+	// Region 0 is 1/6 of the table: at most 3 of 12 groups touch it
+	// (boundary groups straddle regions).
+	if skipped < int64(srv.NumColGroups())/2 {
+		t.Fatalf("skipped only %d of %d groups", skipped, srv.NumColGroups())
+	}
+	if selPages*2 > allPages {
+		t.Fatalf("selective scan read %d pages, full scan %d: zone maps saved <2x", selPages, allPages)
+	}
+}
+
+// TestColumnarPagesCheaperThanHeap: dictionary packing makes a full columnar
+// read of all columns cost fewer modeled pages than the row-major heap scan.
+func TestColumnarPagesCheaperThanHeap(t *testing.T) {
+	srv, _ := clusteredColumnarServer(t, 6*storage.RowGroupSize, 4)
+	m := srv.Meter()
+	snap := m.Snapshot()
+	drainColumnar(srv, predicate.MatchAll(), 0, srv.NumColGroups())
+	colPages := m.CountSince(snap, sim.CtrServerPages)
+	heapPages := int64(srv.NumPages())
+	if colPages*2 > heapPages {
+		t.Fatalf("columnar full scan = %d pages, heap = %d: want >=2x packing win", colPages, heapPages)
+	}
+}
+
+// TestColGroupBoundsShape: bounds are WeightedBounds-shaped, skew toward the
+// matching region, and vanish when hints are disabled.
+func TestColGroupBoundsShape(t *testing.T) {
+	srv, _ := clusteredColumnarServer(t, 12*storage.RowGroupSize, 6)
+	f := predicate.Or(predicate.Conj{{Attr: 0, Op: predicate.Eq, Val: 5}})
+	const nparts = 4
+	bounds := srv.ColGroupBounds(f, nil, nparts, 10_000)
+	if len(bounds) != nparts+1 {
+		t.Fatalf("bounds = %v, want %d entries", bounds, nparts+1)
+	}
+	ng := srv.NumColGroups()
+	if bounds[0] != 0 || bounds[nparts] != ng {
+		t.Fatalf("bounds = %v, want [0 .. %d]", bounds, ng)
+	}
+	for i := 0; i < nparts; i++ {
+		if bounds[i] > bounds[i+1] {
+			t.Fatalf("bounds %v not monotone", bounds)
+		}
+	}
+	// Region 5 lives in the last couple of groups; with skipped groups
+	// weighing nothing, the first partition must swallow well over its
+	// equal-width share of groups.
+	if bounds[1] <= ng/nparts {
+		t.Fatalf("bounds = %v: first lane got %d groups, equal-width would give %d", bounds, bounds[1], ng/nparts)
+	}
+	srv.SetSplitHints(false)
+	if b := srv.ColGroupBounds(f, nil, nparts, 10_000); b != nil {
+		t.Fatalf("bounds with hints disabled = %v, want nil", b)
+	}
+}
+
+// TestGroupConjRefineAndEstimate: compiled-conjunction refinement matches
+// row-at-a-time evaluation, and single-condition estimates are exact.
+func TestGroupConjRefineAndEstimate(t *testing.T) {
+	srv, ds := clusteredColumnarServer(t, 3000, 4)
+	cs := srv.table.colstore
+	g := cs.Group(0)
+	conjs := []predicate.Conj{
+		nil,
+		{{Attr: 1, Op: predicate.Eq, Val: 2}},
+		{{Attr: 1, Op: predicate.Eq, Val: 2}, {Attr: 2, Op: predicate.Ne, Val: 0}},
+		{{Attr: 1, Op: predicate.Eq, Val: 99}}, // absent value: None
+	}
+	all := make([]int32, g.NumRows())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	for ci, cj := range conjs {
+		gc := CompileGroupConj(g, cj)
+		got := gc.Refine(g, all, nil)
+		var want []int32
+		exact := int64(0)
+		for i := 0; i < g.NumRows(); i++ {
+			if cj.Eval(ds.Rows[i]) {
+				want = append(want, int32(i))
+				exact++
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("conj %d: refine selected %d rows, want %d", ci, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("conj %d: refine sel[%d] = %d, want %d", ci, i, got[i], want[i])
+			}
+		}
+		if len(cj) <= 1 {
+			if est := gc.Estimate(g); est != exact {
+				t.Fatalf("conj %d: estimate = %d, want exact %d", ci, est, exact)
+			}
+		}
+	}
+}

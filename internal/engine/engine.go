@@ -37,12 +37,13 @@ const DefaultBufferPages = 256
 // Table is one heap-organized table: named integer columns over a heap file,
 // plus any secondary indexes.
 type Table struct {
-	Name    string
-	Cols    []string
-	heap    *storage.HeapFile
-	indexes map[string]*Index // by column name
-	stats   *ValueStats       // per-page value histograms (partition hints)
-	temp    bool
+	Name     string
+	Cols     []string
+	heap     *storage.HeapFile
+	colstore *storage.ColStore // column-major dictionary-encoded copy of the heap
+	indexes  map[string]*Index // by column name
+	stats    *ValueStats       // per-page value histograms (partition hints)
+	temp     bool
 }
 
 // NumRows returns the number of rows in the table.
@@ -121,11 +122,12 @@ func (e *Engine) CreateTable(name string, cols []string) (*Table, error) {
 		seen[c] = true
 	}
 	t := &Table{
-		Name:    name,
-		Cols:    append([]string(nil), cols...),
-		heap:    storage.NewHeapFile(4 * len(cols)),
-		indexes: make(map[string]*Index),
-		stats:   NewValueStats(len(cols), 0),
+		Name:     name,
+		Cols:     append([]string(nil), cols...),
+		heap:     storage.NewHeapFile(4 * len(cols)),
+		colstore: storage.NewColStore(len(cols)),
+		indexes:  make(map[string]*Index),
+		stats:    NewValueStats(len(cols), 0),
 	}
 	e.tables[name] = t
 	return t, nil
@@ -170,6 +172,7 @@ func (e *Engine) Insert(t *Table, r data.Row) (storage.TID, error) {
 	buf := make([]byte, 0, 4*len(r))
 	buf = r.Encode(buf)
 	tid := t.heap.Insert(buf)
+	t.colstore.Append(r)
 	t.stats.NoteAt(int(tid.Page), r)
 	e.meter.Charge(sim.CtrServerRows, e.meter.Costs().ServerRowWrite, 1)
 	for ci, col := range t.Cols {
@@ -191,6 +194,7 @@ func (e *Engine) BulkLoad(t *Table, rows []data.Row) error {
 		}
 		buf = r.Encode(buf[:0])
 		tid := t.heap.Insert(buf)
+		t.colstore.Append(r)
 		t.stats.NoteAt(int(tid.Page), r)
 		for ci, col := range t.Cols {
 			if idx, ok := t.indexes[col]; ok {

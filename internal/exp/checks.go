@@ -241,6 +241,34 @@ var checks = map[string]func(*Experiment) error{
 		}
 		return nil
 	},
+	"columnar": func(e *Experiment) error {
+		row, col := e.Series[0].Points, e.Series[1].Points
+		for i := range row {
+			// Never slower: the block kernel's cheaper cost shape must show
+			// up as virtual time on every workload.
+			if col[i].Seconds > row[i].Seconds*1.001 {
+				return fmt.Errorf("columnar build (%.3fs) slower than row path (%.3fs) on %s",
+					col[i].Seconds, row[i].Seconds, col[i].Label)
+			}
+			// Dictionary packing alone must cut modeled pages everywhere.
+			if col[i].Counters["server_pages_read"] >= row[i].Counters["server_pages_read"] {
+				return fmt.Errorf("columnar read %d pages, row path %d on %s: no packing win",
+					col[i].Counters["server_pages_read"], row[i].Counters["server_pages_read"], col[i].Label)
+			}
+		}
+		// The headline claim: on the clustered workload (last point) zone-map
+		// skipping stacks on packing for at least a 2x page-I/O cut.
+		last := len(row) - 1
+		rp := row[last].Counters["server_pages_read"]
+		cp := col[last].Counters["server_pages_read"]
+		if rp < 2*cp {
+			return fmt.Errorf("clustered: row path read %d pages, columnar %d — below the 2x claim", rp, cp)
+		}
+		if col[last].Counters["col_groups_skipped"] == 0 {
+			return fmt.Errorf("clustered: zone maps skipped no row groups")
+		}
+		return nil
+	},
 	"sensitivity": func(e *Experiment) error {
 		caching, none := e.Series[0].Points, e.Series[1].Points
 		for i := range caching {

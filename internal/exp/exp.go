@@ -187,10 +187,24 @@ func countersOf(m *sim.Meter) map[string]int64 {
 	return out
 }
 
+// forceRowPath, when set via SetForceRowPath, pins every BuildTree-driven
+// experiment to the row scan path — the whole-suite columnar ablation behind
+// the experiments CLI's -columnar=false flag. Runners that compare the two
+// paths explicitly (the columnar experiment) or pin a path for measurement
+// validity (skew) are unaffected: they configure the middleware directly.
+var forceRowPath bool
+
+// SetForceRowPath toggles the whole-suite row-path ablation. Not safe
+// concurrently with running experiments; set it once before RunAll.
+func SetForceRowPath(v bool) { forceRowPath = v }
+
 // BuildTree loads ds into a fresh simulated server, grows a tree through a
 // middleware with the given config, and returns the virtual-time cost of the
 // build (loading is unmetered).
 func BuildTree(env *Env, ds *data.Dataset, mcfg mw.Config, opt dtree.Options) (BuildStats, error) {
+	if forceRowPath {
+		mcfg.Columnar = mw.ColumnarOff
+	}
 	meter := sim.NewDefaultMeter()
 	eng := engine.New(meter, 0)
 	srv, err := engine.NewServer(eng, "cases", ds)
@@ -250,6 +264,7 @@ func Runners() []Runner {
 		{"sensitivity", Sensitivity, "cost-model sensitivity of the headline orderings"},
 		{"scaling", ScalingWorkers, "parallel scan pipeline speedup, workers 1-8"},
 		{"skew", SkewPartitioning, "histogram-guided vs equal-width splits on a clustered table"},
+		{"columnar", ColumnarStorage, "columnar row groups vs the row heap, uniform and clustered"},
 	}
 }
 

@@ -91,6 +91,10 @@ func skewDrive(env *Env, ds *data.Dataset, regions, workers int, noHints bool) (
 		Workers:          workers,
 		MaxBatch:         1,
 		NoHistogramHints: noHints,
+		// The experiment compares page-split policies on the row path; the
+		// columnar path partitions by row group and is measured by the
+		// columnar experiment instead.
+		Columnar: mw.ColumnarOff,
 	}
 	// Lane imbalance comes from the metrics layer, so this runner always
 	// attaches a ProcMetrics — the caller's collector when one is wired up

@@ -179,35 +179,39 @@ func (m *Middleware) Step() ([]*Result, error) {
 			scanSnap = m.meter.Snapshot()
 		}
 		var scanErr error
-		if sp := m.planParallel(b, plan, budget); sp.nworkers > 1 {
-			var pres *parallelScanResult
+		var pres *parallelScanResult
+		if csrv := m.columnarServer(b); csrv != nil {
+			// The vectorized columnar kernel always runs through the
+			// worker-shard pipeline (a single lane when Workers <= 1).
+			pres, scanErr = m.runScanColumnar(b, plan, live, csrv, budget)
+		} else if sp := m.planParallel(b, plan, budget); sp.nworkers > 1 {
 			pres, scanErr = m.runScanParallel(b, plan, live, sp, budget)
-			if scanErr == nil {
-				live = pres.live
-				ccBytes, teeBytes = pres.ccBytes, pres.teeBytes
-				requeued = append(requeued, pres.requeued...)
-				fallback = append(fallback, pres.fallback...)
-				laneStats = pres.lanes
-				// Re-check the eviction/fallback path post-merge: the
-				// per-worker budget slices are only a mid-scan
-				// approximation, and the merged tables plus concatenated
-				// tees must fit the real remaining budget.
-				for ccBytes+teeBytes > budget {
-					if dropLargestMemTee() {
-						continue
-					}
-					if m.evictMemoryStageExcept(b.stage) {
-						budget = m.memBudgetLeft()
-						continue
-					}
-					if len(live) == 0 {
-						break
-					}
-					evictLargest()
-				}
-			}
 		} else {
 			scanErr = m.runScan(b, process)
+		}
+		if scanErr == nil && pres != nil {
+			live = pres.live
+			ccBytes, teeBytes = pres.ccBytes, pres.teeBytes
+			requeued = append(requeued, pres.requeued...)
+			fallback = append(fallback, pres.fallback...)
+			laneStats = pres.lanes
+			// Re-check the eviction/fallback path post-merge: the
+			// per-worker budget slices are only a mid-scan
+			// approximation, and the merged tables plus concatenated
+			// tees must fit the real remaining budget.
+			for ccBytes+teeBytes > budget {
+				if dropLargestMemTee() {
+					continue
+				}
+				if m.evictMemoryStageExcept(b.stage) {
+					budget = m.memBudgetLeft()
+					continue
+				}
+				if len(live) == 0 {
+					break
+				}
+				evictLargest()
+			}
 		}
 		if scanErr != nil {
 			for _, t := range plan.fileTees {

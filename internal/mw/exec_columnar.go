@@ -1,0 +1,242 @@
+package mw
+
+import (
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// This file is the middleware half of the columnar scan path: server batches
+// run against the engine's column-major copy in 1024-row blocks, and the
+// per-row treap probes of the row path become a vectorized
+// filter-then-count kernel — per node and block, refine the block's
+// selection vector in dictionary-code space, bump a dense histogram per
+// selected row (cc.Table.AddMany), and fold the distinct cells into the
+// treap once. The kernel always runs through the worker-shard machinery of
+// exec_parallel.go, even at one worker: every lane is a pure function of
+// its group range, shards merge in partition order, and Step's post-merge
+// budget re-check provides the global eviction pass. The produced CC
+// tables, trees and staged data are byte-identical to the row path's; only
+// the cost shape (and therefore the virtual clock and counters) differs —
+// which is the point.
+
+// columnarServer returns the server whose columnar copy services the batch,
+// or nil when the batch must take the row path: non-server sources, the
+// ColumnarOff ablation, TID-addressed access modes (keyset, TID join), and
+// sources without a columnar copy.
+func (m *Middleware) columnarServer(b *batch) *engine.Server {
+	if m.cfg.Columnar == ColumnarOff || b.kind != srcServer {
+		return nil
+	}
+	srv := m.srv
+	if aux := m.maybeBuildAux(b); aux != nil {
+		switch {
+		case aux.keyset != nil, aux.tidTab != nil:
+			return nil
+		case aux.subSrv != nil:
+			srv = aux.subSrv
+		}
+	}
+	if !srv.ColumnarAvailable() {
+		return nil
+	}
+	return srv
+}
+
+// columnarNeedCols returns the columns whose pages the columnar scan must
+// read: every counted attribute (the class column rides along in each
+// request's attrs) plus every path-predicate attribute. nil — all columns —
+// when staging tees capture full rows, or when the batch already touches
+// every column.
+func (m *Middleware) columnarNeedCols(plan *stagePlan, live []*ccWork) []int {
+	if len(plan.fileTees) > 0 || len(plan.memTees) > 0 {
+		return nil
+	}
+	ncols := m.schema.NumCols()
+	need := make([]bool, ncols)
+	cnt := 0
+	mark := func(a int) {
+		if a >= 0 && a < ncols && !need[a] {
+			need[a] = true
+			cnt++
+		}
+	}
+	for _, w := range live {
+		for _, a := range w.attrs {
+			mark(a)
+		}
+		for _, c := range w.req.Path {
+			mark(c.Attr)
+		}
+	}
+	if cnt == ncols {
+		return nil
+	}
+	cols := make([]int, 0, cnt)
+	for a, ok := range need {
+		if ok {
+			cols = append(cols, a)
+		}
+	}
+	return cols
+}
+
+// runScanColumnar executes a server batch against srv's columnar copy,
+// fanned out over up to Config.Workers lanes of disjoint row-group ranges
+// (histogram-guided via ColGroupBounds, where zone-map-skipped groups weigh
+// nothing). Budget policing is shard-local at block granularity; Step's
+// post-merge re-check enforces the global budget, exactly as for the
+// row-parallel path.
+func (m *Middleware) runScanColumnar(b *batch, plan *stagePlan, live []*ccWork, srv *engine.Server, budget int64) (*parallelScanResult, error) {
+	filter := m.scanHintFilter(b)
+	needCols := m.columnarNeedCols(plan, live)
+	ng := srv.NumColGroups()
+	nworkers := m.cfg.Workers
+	if nworkers > ng {
+		nworkers = ng
+	}
+	if nworkers < 1 {
+		nworkers = 1
+	}
+	if nworkers > 1 && budget/int64(nworkers) == 0 {
+		nworkers = 1 // zero per-worker slice: police the whole budget in one lane
+	}
+	var bounds []int
+	if nworkers > 1 {
+		costs := m.meter.Costs()
+		perMatch := costs.ColRowTransmit + costs.CCBump +
+			int64(len(plan.fileTees))*costs.FileRowWrite
+		bounds = srv.ColGroupBounds(filter, needCols, nworkers, perMatch)
+	}
+	slice := budget / int64(nworkers)
+	rowMemBytes := int64(m.schema.RowBytes()) + memRowOverhead
+
+	lanes := m.meter.Fork(nworkers)
+	tr := m.srv.Tracer()
+	ltrs := tr.ForkLanes(lanes)
+	shards := make([]*workerShard, nworkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		sh := &workerShard{
+			ccs:       make([]*cc.Table, len(live)),
+			shed:      make([]bool, len(live)),
+			memBufs:   make([][]data.Row, len(plan.memTees)),
+			memDrop:   make([]bool, len(plan.memTees)),
+			fileBufs:  make([][]byte, len(plan.fileTees)),
+			fileRows:  make([]int64, len(plan.fileTees)),
+			fileStats: make([]*engine.ValueStats, len(plan.fileTees)),
+		}
+		for i := range sh.ccs {
+			sh.ccs[i] = cc.New()
+		}
+		for k := range sh.fileStats {
+			sh.fileStats[k] = m.files.newStats()
+		}
+		shards[w] = sh
+		var ltr *obs.Tracer
+		if ltrs != nil {
+			ltr = ltrs[w]
+		}
+		wg.Add(1)
+		go func(part int, sh *workerShard, lane *sim.Meter, ltr *obs.Tracer) {
+			defer wg.Done()
+			lsp := ltr.Start(obs.CatLane, "lane").SetPartition(part, nworkers)
+			lo, hi := engine.RangeOf(part, nworkers, ng, bounds)
+			m.columnarWorker(plan, live, srv, filter, needCols, lo, hi, lane, sh, slice, rowMemBytes)
+			lsp.SetRows(laneRows(lane, srcServer)).End()
+		}(w, sh, lanes[w], ltr)
+	}
+	wg.Wait()
+	m.meter.Join(lanes)
+	tr.JoinLanes(ltrs)
+	return m.mergeShards(srcServer, plan, live, shards, lanes, rowMemBytes), nil
+}
+
+// columnarWorker is the body of one columnar scan lane: row groups
+// [loGroup, hiGroup) of srv's columnar copy, driven block by block through
+// the vectorized kernel with every cost charged to lane. Node predicates
+// and tee filters compile once per row group into dictionary-code space;
+// within a block each node refines the server's selection vector, bumps the
+// dense histogram per selected row (CCBump), and folds distinct cells into
+// its shard treap (CCFoldEntry).
+func (m *Middleware) columnarWorker(plan *stagePlan, live []*ccWork, srv *engine.Server, filter predicate.Filter, needCols []int, loGroup, hiGroup int, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) {
+	costs := lane.Costs()
+	classIdx := m.schema.ClassIndex()
+	pb := &shardBudget{sh: sh, slice: slice, rowMemBytes: rowMemBytes}
+
+	var (
+		curGroup    *storage.ColGroup
+		nodeConjs   = make([]engine.GroupConj, len(live))
+		fileFilters = make([]engine.GroupFilter, len(plan.fileTees))
+		memFilters  = make([]engine.GroupFilter, len(plan.memTees))
+		classDict   []data.Value
+		classCodes  []uint16
+		subsel      []int32
+		teeSel      []int32
+		hist        []int64
+		rowBuf      data.Row
+	)
+	srv.ScanColumnarRange(filter, needCols, loGroup, hiGroup, lane, func(blk *engine.ColBlock) bool {
+		g := blk.Group
+		if g != curGroup {
+			curGroup = g
+			for i, wk := range live {
+				nodeConjs[i] = engine.CompileGroupConj(g, wk.req.Path)
+			}
+			for k, t := range plan.fileTees {
+				fileFilters[k] = engine.CompileGroupFilter(g, t.filter)
+			}
+			for j, t := range plan.memTees {
+				memFilters[j] = engine.CompileGroupFilter(g, t.filter)
+			}
+			classDict, classCodes = g.Dict(classIdx), g.Codes(classIdx)
+		}
+		for i := range live {
+			if sh.shed[i] {
+				continue
+			}
+			subsel = nodeConjs[i].Refine(g, blk.Sel, subsel[:0])
+			if len(subsel) == 0 {
+				continue
+			}
+			lane.Charge(sim.CtrCCUpdates, costs.CCBump, int64(len(subsel)))
+			t := sh.ccs[i]
+			before := t.Bytes()
+			var folded int
+			for _, a := range live[i].attrs {
+				hist, folded = t.AddMany(a, g.Dict(a), g.Codes(a), classDict, classCodes, subsel, hist)
+				lane.Charge(sim.CtrCCFolds, costs.CCFoldEntry, int64(folded))
+			}
+			t.AddRows(int64(len(subsel)))
+			pb.ccBytes += t.Bytes() - before
+		}
+		pb.police()
+		for k := range plan.fileTees {
+			teeSel = fileFilters[k].Refine(g, blk.Sel, teeSel[:0])
+			for _, ri := range teeSel {
+				rowBuf = blk.MaterializeRow(ri, rowBuf)
+				sh.fileBufs[k] = rowBuf.Encode(sh.fileBufs[k])
+				sh.fileRows[k]++
+				sh.fileStats[k].Note(rowBuf)
+				lane.Charge(sim.CtrFileRowsWritten, costs.FileRowWrite, 1)
+			}
+		}
+		for j := range plan.memTees {
+			if sh.memDrop[j] {
+				continue
+			}
+			teeSel = memFilters[j].Refine(g, blk.Sel, teeSel[:0])
+			for _, ri := range teeSel {
+				sh.memBufs[j] = append(sh.memBufs[j], blk.MaterializeRow(ri, nil))
+				pb.teeBytes += rowMemBytes
+			}
+		}
+		return true
+	})
+}

@@ -302,14 +302,22 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 			return nil, sh.err
 		}
 	}
+	return m.mergeShards(b.kind, plan, live, shards, lanes, rowMemBytes), nil
+}
 
+// mergeShards folds the worker shards of a finished scan back into one
+// deterministic result, in fixed partition order. It is shared by the
+// row-parallel and columnar paths (the latter also runs it at one worker,
+// where the loops collapse to plain moves and nothing is charged).
+func (m *Middleware) mergeShards(kind sourceKind, plan *stagePlan, live []*ccWork, shards []*workerShard, lanes []*sim.Meter, rowMemBytes int64) *parallelScanResult {
+	tr := m.srv.Tracer()
 	res := &parallelScanResult{}
-	if m.cfg.Trace != nil || m.cfg.Metrics != nil {
+	if (m.cfg.Trace != nil || m.cfg.Metrics != nil) && len(lanes) > 1 {
 		for i, lane := range lanes {
 			res.lanes = append(res.lanes, EventLane{
 				Lane:    i + 1,
 				Elapsed: lane.Now(),
-				Rows:    laneRows(lane, b.kind),
+				Rows:    laneRows(lane, kind),
 			})
 		}
 	}
@@ -335,7 +343,11 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 	// Merge CC shards in partition order, charging the serial per-entry
 	// merge cost on the parent meter. Counting is commutative over disjoint
 	// partitions, so the merged tables are identical to a sequential scan's.
-	msp := tr.Start(obs.CatMerge, "shard-merge")
+	// A single shard has nothing to fold: no merge span, no charge.
+	var msp *obs.Span
+	if len(shards) > 1 {
+		msp = tr.Start(obs.CatMerge, "shard-merge")
+	}
 	var mergedEntries int64
 	mergeCost := m.meter.Costs().MergeEntry
 	for i, wk := range live {
@@ -397,55 +409,81 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 			t.writer.appendStats(sh.fileStats[k])
 		}
 	}
-	return res, nil
+	return res
+}
+
+// shardBudget polices one worker's 1/nworkers slice of the scan budget over
+// its local shard: when the shard's CC tables plus tee buffers outgrow the
+// slice, first the largest memory-tee buffer is abandoned, then the request
+// with the largest local shard table is shed — local decisions only, because
+// global eviction would mutate shared middleware state mid-scan.
+type shardBudget struct {
+	sh          *workerShard
+	ccBytes     int64
+	teeBytes    int64
+	slice       int64
+	rowMemBytes int64
+}
+
+func (p *shardBudget) dropLargestMemBuf() bool {
+	sh := p.sh
+	li := -1
+	for j := range sh.memBufs {
+		if sh.memDrop[j] {
+			continue
+		}
+		if li < 0 || len(sh.memBufs[j]) > len(sh.memBufs[li]) {
+			li = j
+		}
+	}
+	if li < 0 {
+		return false
+	}
+	p.teeBytes -= int64(len(sh.memBufs[li])) * p.rowMemBytes
+	sh.memDrop[li] = true
+	sh.memBufs[li] = nil
+	return true
+}
+
+func (p *shardBudget) shedLargest() bool {
+	sh := p.sh
+	li := -1
+	for i := range sh.ccs {
+		if sh.shed[i] {
+			continue
+		}
+		if li < 0 || sh.ccs[i].Bytes() > sh.ccs[li].Bytes() {
+			li = i
+		}
+	}
+	if li < 0 {
+		return false
+	}
+	p.ccBytes -= sh.ccs[li].Bytes()
+	sh.shed[li] = true
+	sh.ccs[li] = cc.New()
+	return true
+}
+
+// police sheds local state until the shard fits its slice again.
+func (p *shardBudget) police() {
+	for p.ccBytes+p.teeBytes > p.slice {
+		if p.dropLargestMemBuf() {
+			continue
+		}
+		if !p.shedLargest() {
+			break
+		}
+	}
 }
 
 // scanWorker is the body of one scan lane: it drives partition part of
 // nparts through a worker-local version of the sequential process loop,
-// charging every operation to lane. Budget pressure is handled locally —
-// first by abandoning the worker's largest memory-tee buffer, then by
-// shedding the request with the largest local shard — because global
-// eviction would mutate shared middleware state mid-scan.
+// charging every operation to lane. Budget pressure is handled locally by
+// shardBudget.
 func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, sp scanPlan, part, nparts int, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) error {
 	costs := lane.Costs()
-	var ccBytes, teeBytes int64
-
-	dropLargestMemBuf := func() bool {
-		li := -1
-		for j := range sh.memBufs {
-			if sh.memDrop[j] {
-				continue
-			}
-			if li < 0 || len(sh.memBufs[j]) > len(sh.memBufs[li]) {
-				li = j
-			}
-		}
-		if li < 0 {
-			return false
-		}
-		teeBytes -= int64(len(sh.memBufs[li])) * rowMemBytes
-		sh.memDrop[li] = true
-		sh.memBufs[li] = nil
-		return true
-	}
-	shedLargest := func() bool {
-		li := -1
-		for i := range sh.ccs {
-			if sh.shed[i] {
-				continue
-			}
-			if li < 0 || sh.ccs[i].Bytes() > sh.ccs[li].Bytes() {
-				li = i
-			}
-		}
-		if li < 0 {
-			return false
-		}
-		ccBytes -= sh.ccs[li].Bytes()
-		sh.shed[li] = true
-		sh.ccs[li] = cc.New()
-		return true
-	}
+	pb := &shardBudget{sh: sh, slice: slice, rowMemBytes: rowMemBytes}
 
 	process := func(row data.Row) {
 		for i, wk := range live {
@@ -454,17 +492,10 @@ func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, sp sc
 			}
 			before := sh.ccs[i].Bytes()
 			sh.ccs[i].AddRow(row, wk.attrs)
-			ccBytes += sh.ccs[i].Bytes() - before
+			pb.ccBytes += sh.ccs[i].Bytes() - before
 			lane.Charge(sim.CtrCCUpdates, costs.CCUpdate, 1)
 		}
-		for ccBytes+teeBytes > slice {
-			if dropLargestMemBuf() {
-				continue
-			}
-			if !shedLargest() {
-				break
-			}
-		}
+		pb.police()
 		for k, t := range plan.fileTees {
 			if t.filter.Eval(row) {
 				sh.fileBufs[k] = row.Encode(sh.fileBufs[k])
@@ -479,7 +510,7 @@ func (m *Middleware) scanWorker(b *batch, plan *stagePlan, live []*ccWork, sp sc
 			}
 			if t.filter.Eval(row) {
 				sh.memBufs[j] = append(sh.memBufs[j], row.Clone())
-				teeBytes += rowMemBytes
+				pb.teeBytes += rowMemBytes
 			}
 		}
 	}

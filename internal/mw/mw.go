@@ -122,6 +122,36 @@ func (a ServerAccess) String() string {
 	return fmt.Sprintf("access(%d)", int(a))
 }
 
+// ColumnarMode selects whether server scans run against the column-major,
+// dictionary-encoded copy the engine keeps beside every heap (the vectorized
+// filter-then-count path) or against the row-major heap.
+type ColumnarMode int
+
+const (
+	// ColumnarAuto (the default) scans the columnar copy whenever the
+	// batch's server source has one — the base table, and the temp tables of
+	// AccessCopyTable; keyset and TID-join access stay on the row path
+	// (TID-addressed fetches have no columnar analog). Results are identical
+	// to the row path; the virtual clock and I/O counters reflect the
+	// columnar cost shape (block evaluation, per-column pages, zone-map
+	// skips).
+	ColumnarAuto ColumnarMode = iota
+	// ColumnarOff forces every scan onto the row-major heap path — the
+	// ablation arm of the columnar experiment.
+	ColumnarOff
+)
+
+// String names the columnar mode.
+func (c ColumnarMode) String() string {
+	switch c {
+	case ColumnarAuto:
+		return "auto"
+	case ColumnarOff:
+		return "off"
+	}
+	return fmt.Sprintf("columnar(%d)", int(c))
+}
+
 // Config tunes the middleware. The zero value is usable: no staging, an
 // effectively unlimited memory budget, and sequential server access.
 type Config struct {
@@ -167,6 +197,10 @@ type Config struct {
 	// Only a scan whose per-worker budget slice would round down to zero
 	// falls back to one worker.
 	Workers int
+	// Columnar selects the scan path for server batches: ColumnarAuto (the
+	// default) runs the vectorized columnar kernel wherever a columnar copy
+	// exists, ColumnarOff preserves the row-major path as the ablation.
+	Columnar ColumnarMode
 
 	// Ablation switches. Both default to off (= the paper's design) and
 	// exist for the ablation experiments that quantify each design choice.

@@ -19,7 +19,9 @@ import (
 // detail — one entry per worker in partition order, with the lane's virtual
 // elapsed time and row count.
 func TestParallelBatchEmitsEventWithLanes(t *testing.T) {
-	ds := randDataset(2000, 5)
+	// Big enough that the columnar copy spans at least 4 row groups, so the
+	// default (columnar) scan can actually fan out to all 4 workers.
+	ds := randDataset(20000, 5)
 	var events []Event
 	m, _ := newMW(t, ds, Config{
 		Staging: StageNone, Workers: 4,

@@ -170,9 +170,14 @@ func skewImbalance(t *testing.T, noHints bool) (int64, string) {
 		t.Fatal(err)
 	}
 	_, pm := obs.NewCollector(false, true).Proc("skew", meter)
+	// This regression test measures histogram-guided heap-page splits, a
+	// row-path mechanism: force the row path. (The columnar path partitions
+	// by 4096-row group, and at this table size both split policies would
+	// produce identical group bounds.)
 	m, err := New(srv, Config{
 		Staging: StageNone, Workers: 8, MaxBatch: 1,
 		NoHistogramHints: noHints, Metrics: pm, Dir: t.TempDir(),
+		Columnar: ColumnarOff,
 	})
 	if err != nil {
 		t.Fatal(err)

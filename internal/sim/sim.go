@@ -40,12 +40,19 @@ type Costs struct {
 	TIDFetch       int64 // fetch one record by TID (random I/O amortized)
 	ServerRowWrite int64 // insert one row into a server-side (temp) table
 
+	// Columnar scan-path costs (the vectorized per-block charge shape; the
+	// row path above never charges these).
+	ColRowEval     int64 // evaluate the pushed-down filter on one row of a columnar block
+	ColRowTransmit int64 // ship one matching row of a columnar block to the middleware
+
 	// Middleware-side costs.
 	FileRowWrite int64 // append one row to a middleware staging file
 	FileRowRead  int64 // read one row back from a middleware staging file
 	FileOpen     int64 // create/open one middleware staging file
 	MemRowRead   int64 // touch one row staged in middleware memory
 	CCUpdate     int64 // update the counts (CC) table for one (row, node) pair
+	CCBump       int64 // bump one dense histogram cell for one selected row (vectorized kernel)
+	CCFoldEntry  int64 // fold one distinct histogram cell into the treap, once per block
 	MergeEntry   int64 // fold one worker-shard CC entry into the merged node table
 
 	// Client-side costs.
@@ -71,6 +78,17 @@ func DefaultCosts() Costs {
 		TIDFetch:       80_000, // random I/O dominated
 		ServerRowWrite: 15_000,
 
+		// The columnar block scan amortizes cursor bookkeeping, predicate
+		// dispatch and the wire protocol over 1024-row blocks: filter
+		// evaluation is a dictionary-code compare per condition (~1/8 of the
+		// row-at-a-time interpreter) and block transfer quarters the per-row
+		// transmit overhead. Page I/O is charged at the unchanged
+		// ServerPageIO — the columnar win on I/O comes from reading fewer,
+		// denser pages (dictionary packing and zone-map skipping), not from a
+		// cheaper page.
+		ColRowEval:     125,
+		ColRowTransmit: 2_000,
+
 		// Middleware files live on the middleware machine's disk, so
 		// reading them is not fundamentally cheaper per row than the
 		// server's own sequential scan (~3.6 µs/row including page I/O);
@@ -82,6 +100,8 @@ func DefaultCosts() Costs {
 		FileOpen:     1_000_000, // 1 ms
 		MemRowRead:   150,
 		CCUpdate:     60, // per (row, attribute-set, node) counting step, charged per row per node
+		CCBump:       8,  // dense array increment per selected row (no treap probe)
+		CCFoldEntry:  80, // treap insert per distinct cell, once per (node, block)
 		MergeEntry:   80, // per shard entry: one treap lookup/insert plus a count add
 
 		ClientRowLoad: 500,
@@ -110,6 +130,10 @@ const (
 	CtrBatches                          // middleware scheduling batches executed
 	CtrSQLFallbacks                     // nodes serviced by the SQL fallback path
 	CtrShardMergeEntries                // CC shard entries folded into merged node tables
+	CtrColGroupsScanned                 // columnar row groups scanned
+	CtrColGroupsSkipped                 // columnar row groups skipped via zone maps
+	CtrColBlocks                        // columnar 1024-row blocks evaluated
+	CtrCCFolds                          // distinct histogram cells folded into CC treaps
 	numCounters
 )
 
@@ -131,6 +155,10 @@ var counterNames = [...]string{
 	CtrBatches:           "mw_batches",
 	CtrSQLFallbacks:      "sql_fallbacks",
 	CtrShardMergeEntries: "shard_merge_entries",
+	CtrColGroupsScanned:  "col_groups_scanned",
+	CtrColGroupsSkipped:  "col_groups_skipped",
+	CtrColBlocks:         "col_blocks",
+	CtrCCFolds:           "cc_folds",
 }
 
 // Counters returns every counter in declaration order.

@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// RowGroupSize is the number of rows per sealed columnar row group. 4096
+// rows of one 4-byte column dictionary-encode to roughly half a page at
+// byte-wide codes, so a sealed group costs about one modeled page per
+// column — versus the dozen-plus row-major pages the same rows occupy in
+// the heap when the table is more than a couple of columns wide.
+const RowGroupSize = 4096
+
+// ColStore is a column-major, dictionary-encoded copy of a table kept
+// beside its row-major heap. Rows are appended in heap insertion order and
+// sealed into immutable row groups of RowGroupSize rows; the open tail is
+// encoded on demand so scans always see every row. Each sealed group stores,
+// per column, a sorted dictionary of the distinct values, a dense code
+// vector, and per-code occurrence counts. The sorted dictionary doubles as
+// the group's zone map: min = dict[0], max = dict[last], and membership is
+// a binary search — enough to prove a predicate can match no row of the
+// group without touching a single page.
+type ColStore struct {
+	ncols  int
+	groups []*ColGroup
+	tail   [][]data.Value // per-column open tail, < RowGroupSize rows
+	tailN  int
+	tailG  *ColGroup // cached encoding of the tail; nil when stale
+}
+
+// NewColStore creates an empty columnar store for rows of ncols values.
+func NewColStore(ncols int) *ColStore {
+	if ncols <= 0 {
+		panic("storage: columnar store needs at least one column")
+	}
+	return &ColStore{ncols: ncols, tail: make([][]data.Value, ncols)}
+}
+
+// NumCols returns the number of columns.
+func (cs *ColStore) NumCols() int { return cs.ncols }
+
+// NumRows returns the total number of rows, sealed and tail.
+func (cs *ColStore) NumRows() int64 {
+	return int64(len(cs.groups))*RowGroupSize + int64(cs.tailN)
+}
+
+// NumGroups returns the number of row groups a scan visits: all sealed
+// groups plus one for the open tail when it is non-empty.
+func (cs *ColStore) NumGroups() int {
+	n := len(cs.groups)
+	if cs.tailN > 0 {
+		n++
+	}
+	return n
+}
+
+// Append adds one row (in insertion order, mirroring HeapFile.Insert) and
+// seals a row group when the tail fills.
+func (cs *ColStore) Append(row []data.Value) {
+	if len(row) != cs.ncols {
+		panic("storage: columnar row width mismatch")
+	}
+	for c, v := range row {
+		cs.tail[c] = append(cs.tail[c], v)
+	}
+	cs.tailN++
+	cs.tailG = nil
+	if cs.tailN == RowGroupSize {
+		cs.groups = append(cs.groups, encodeGroup(cs.tail, cs.tailN))
+		for c := range cs.tail {
+			cs.tail[c] = cs.tail[c][:0]
+		}
+		cs.tailN = 0
+	}
+}
+
+// Group returns row group g. Index len(sealed groups) addresses the open
+// tail, which is encoded on first access and cached until the next Append.
+// The returned group is immutable.
+func (cs *ColStore) Group(g int) *ColGroup {
+	if g < len(cs.groups) {
+		return cs.groups[g]
+	}
+	if g == len(cs.groups) && cs.tailN > 0 {
+		if cs.tailG == nil {
+			cs.tailG = encodeGroup(cs.tail, cs.tailN)
+		}
+		return cs.tailG
+	}
+	panic("storage: columnar group index out of range")
+}
+
+// Bytes returns the modeled compressed size of the store: every group,
+// every column.
+func (cs *ColStore) Bytes() int64 {
+	var total int64
+	for g := 0; g < cs.NumGroups(); g++ {
+		total += cs.Group(g).Bytes(nil)
+	}
+	return total
+}
+
+// ColGroup is one immutable row group: up to RowGroupSize rows,
+// dictionary-encoded per column.
+type ColGroup struct {
+	nrows int
+	cols  []colVec
+}
+
+type colVec struct {
+	dict   []data.Value // sorted distinct values; doubles as the zone map
+	codes  []uint16     // codes[i] indexes dict
+	counts []int64      // occurrences per code, exact
+}
+
+// encodeGroup dictionary-encodes n rows of column vectors. The dictionary
+// is built collect-then-sort — copy, sort, dedupe — so construction order
+// is deterministic without ever ranging a map.
+func encodeGroup(cols [][]data.Value, n int) *ColGroup {
+	g := &ColGroup{nrows: n, cols: make([]colVec, len(cols))}
+	scratch := make([]data.Value, n)
+	for c, vals := range cols {
+		copy(scratch, vals[:n])
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		dict := make([]data.Value, 0, 8)
+		for i, v := range scratch {
+			if i == 0 || v != dict[len(dict)-1] {
+				dict = append(dict, v)
+			}
+		}
+		if len(dict) > 1<<16 {
+			panic("storage: column cardinality exceeds 16-bit dictionary codes")
+		}
+		codes := make([]uint16, n)
+		counts := make([]int64, len(dict))
+		for i, v := range vals[:n] {
+			code := uint16(sort.Search(len(dict), func(j int) bool { return dict[j] >= v }))
+			codes[i] = code
+			counts[code]++
+		}
+		g.cols[c] = colVec{dict: dict, codes: codes, counts: counts}
+	}
+	return g
+}
+
+// NumRows returns the number of rows in the group.
+func (g *ColGroup) NumRows() int { return g.nrows }
+
+// NumCols returns the number of columns in the group.
+func (g *ColGroup) NumCols() int { return len(g.cols) }
+
+// Dict returns the sorted distinct values of col. Callers must not modify it.
+func (g *ColGroup) Dict(col int) []data.Value { return g.cols[col].dict }
+
+// Codes returns col's dense code vector. Callers must not modify it.
+func (g *ColGroup) Codes(col int) []uint16 { return g.cols[col].codes }
+
+// CodeCounts returns the exact per-code occurrence counts for col, aligned
+// with Dict. Callers must not modify it.
+func (g *ColGroup) CodeCounts(col int) []int64 { return g.cols[col].counts }
+
+// FindCode binary-searches col's dictionary for v, returning its code and
+// whether the value occurs in this group at all. A miss is a zone-map
+// verdict: no row of the group has v in col.
+func (g *ColGroup) FindCode(col int, v data.Value) (uint16, bool) {
+	dict := g.cols[col].dict
+	i := sort.Search(len(dict), func(j int) bool { return dict[j] >= v })
+	if i < len(dict) && dict[i] == v {
+		return uint16(i), true
+	}
+	return 0, false
+}
+
+// colBytes returns the modeled size of one encoded column: the dictionary
+// at 4 bytes per value plus the code vector at one byte per row for
+// dictionaries that fit 8-bit codes, two bytes otherwise.
+func (g *ColGroup) colBytes(col int) int64 {
+	v := &g.cols[col]
+	width := int64(1)
+	if len(v.dict) > 256 {
+		width = 2
+	}
+	return int64(4*len(v.dict)) + width*int64(g.nrows)
+}
+
+// Bytes returns the modeled size of the listed columns (nil means all).
+func (g *ColGroup) Bytes(cols []int) int64 {
+	var total int64
+	if cols == nil {
+		for c := range g.cols {
+			total += g.colBytes(c)
+		}
+		return total
+	}
+	for _, c := range cols {
+		total += g.colBytes(c)
+	}
+	return total
+}
+
+// Pages returns the modeled page-I/O cost of reading the listed columns of
+// this group (nil means all): each column is packed into its own run of
+// PageSize pages, at least one per column, so a scan that needs only k
+// columns reads only their pages.
+func (g *ColGroup) Pages(cols []int) int64 {
+	var pages int64
+	count := func(c int) {
+		b := g.colBytes(c)
+		p := (b + PageSize - 1) / PageSize
+		if p < 1 {
+			p = 1
+		}
+		pages += p
+	}
+	if cols == nil {
+		for c := range g.cols {
+			count(c)
+		}
+		return pages
+	}
+	for _, c := range cols {
+		count(c)
+	}
+	return pages
+}

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestColStoreRoundTrip(t *testing.T) {
+	const ncols = 4
+	rng := rand.New(rand.NewSource(19))
+	n := RowGroupSize + 700 // one sealed group plus an open tail
+	rows := make([][]data.Value, n)
+	cs := NewColStore(ncols)
+	for i := range rows {
+		row := make([]data.Value, ncols)
+		for c := range row {
+			row[c] = data.Value(rng.Intn(50))
+		}
+		rows[i] = row
+		cs.Append(row)
+	}
+	if cs.NumRows() != int64(n) {
+		t.Fatalf("NumRows = %d, want %d", cs.NumRows(), n)
+	}
+	if cs.NumGroups() != 2 {
+		t.Fatalf("NumGroups = %d, want 2", cs.NumGroups())
+	}
+	// Decoding every group in order must reproduce the appended rows exactly.
+	got := 0
+	for g := 0; g < cs.NumGroups(); g++ {
+		grp := cs.Group(g)
+		for i := 0; i < grp.NumRows(); i++ {
+			for c := 0; c < ncols; c++ {
+				v := grp.Dict(c)[grp.Codes(c)[i]]
+				if v != rows[got][c] {
+					t.Fatalf("group %d row %d col %d = %d, want %d", g, i, c, v, rows[got][c])
+				}
+			}
+			got++
+		}
+	}
+	if got != n {
+		t.Fatalf("decoded %d rows, want %d", got, n)
+	}
+}
+
+func TestColGroupDictSortedAndCountsExact(t *testing.T) {
+	cs := NewColStore(2)
+	vals := []data.Value{5, 1, 5, 9, 1, 5, 0}
+	for _, v := range vals {
+		cs.Append([]data.Value{v, 3})
+	}
+	g := cs.Group(0) // open tail, encoded on demand
+	dict := g.Dict(0)
+	want := []data.Value{0, 1, 5, 9}
+	if len(dict) != len(want) {
+		t.Fatalf("dict = %v, want %v", dict, want)
+	}
+	for i := range want {
+		if dict[i] != want[i] {
+			t.Fatalf("dict = %v, want %v", dict, want)
+		}
+	}
+	counts := g.CodeCounts(0)
+	wantCounts := []int64{1, 2, 3, 1}
+	for i := range wantCounts {
+		if counts[i] != wantCounts[i] {
+			t.Fatalf("counts = %v, want %v", counts, wantCounts)
+		}
+	}
+	// Constant column collapses to a single dictionary entry.
+	if d := g.Dict(1); len(d) != 1 || d[0] != 3 || g.CodeCounts(1)[0] != int64(len(vals)) {
+		t.Fatalf("constant column dict = %v counts = %v", d, g.CodeCounts(1))
+	}
+}
+
+func TestColGroupFindCode(t *testing.T) {
+	cs := NewColStore(1)
+	for _, v := range []data.Value{10, 20, 30} {
+		cs.Append([]data.Value{v})
+	}
+	g := cs.Group(0)
+	if code, ok := g.FindCode(0, 20); !ok || code != 1 {
+		t.Fatalf("FindCode(20) = %d, %v", code, ok)
+	}
+	for _, miss := range []data.Value{5, 15, 35} {
+		if _, ok := g.FindCode(0, miss); ok {
+			t.Fatalf("FindCode(%d) should miss", miss)
+		}
+	}
+}
+
+func TestColGroupPages(t *testing.T) {
+	cs := NewColStore(3)
+	for i := 0; i < RowGroupSize; i++ {
+		cs.Append([]data.Value{data.Value(i % 8), data.Value(i % 300), data.Value(i % 2)})
+	}
+	g := cs.Group(0)
+	// Column 0: 8-entry dict, byte codes -> 4096 + 32 bytes -> 1 page.
+	// Column 1: 300-entry dict, 2-byte codes -> 8192 + 1200 bytes -> 2 pages.
+	if p := g.Pages([]int{0}); p != 1 {
+		t.Fatalf("Pages(col0) = %d, want 1", p)
+	}
+	if p := g.Pages([]int{1}); p != 2 {
+		t.Fatalf("Pages(col1) = %d, want 2", p)
+	}
+	if p := g.Pages(nil); p != 4 {
+		t.Fatalf("Pages(all) = %d, want 4", p)
+	}
+	if b := g.Bytes([]int{0}); b != 4*8+RowGroupSize {
+		t.Fatalf("Bytes(col0) = %d", b)
+	}
+}
+
+func TestColStoreTailCacheInvalidation(t *testing.T) {
+	cs := NewColStore(1)
+	cs.Append([]data.Value{1})
+	g1 := cs.Group(0)
+	if g1.NumRows() != 1 {
+		t.Fatalf("tail rows = %d, want 1", g1.NumRows())
+	}
+	cs.Append([]data.Value{2})
+	g2 := cs.Group(0)
+	if g2.NumRows() != 2 {
+		t.Fatalf("tail rows after append = %d, want 2", g2.NumRows())
+	}
+	if v := g2.Dict(0)[g2.Codes(0)[1]]; v != 2 {
+		t.Fatalf("tail row 1 = %d, want 2", v)
+	}
+}

@@ -33,4 +33,9 @@ gate "go test -race -short ./..." go test -race -short ./...
 # Quarter-scale skew shape check: histogram-guided splits must cut the worst
 # lane imbalance >= 2x vs equal-width at 8 workers, with identical counts.
 gate "experiments -run skew -check" go run ./cmd/experiments -run skew -scale 0.25 -check
+# Quarter-scale columnar shape check: the columnar copy must read >= 2x fewer
+# modeled pages than the row heap on the clustered workload (zone-map
+# skipping), fewer everywhere (dictionary packing), never be slower, and
+# count identically.
+gate "experiments -run columnar -check" go run ./cmd/experiments -run columnar -scale 0.25 -check
 echo "verify: all green"
