@@ -25,6 +25,7 @@ import (
 	"repro/internal/mw"
 	"repro/internal/nb"
 	"repro/internal/obs"
+	_ "repro/internal/obs/profile" // registers the -explain profile renderer
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,7 @@ func run() error {
 		traceOut    = flag.String("trace", "", "write a deterministic virtual-time trace of the build to this file")
 		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-loadable) or ndjson")
 		metricsOut  = flag.String("metrics", "", "write per-batch metrics and counter timelines (JSON) to this file")
+		explain     = flag.Bool("explain", false, "print the EXPLAIN ANALYZE-style build profile (per-span costs, critical path, skew)")
 	)
 	flag.Parse()
 
@@ -120,7 +122,7 @@ func run() error {
 	// Observability attaches to the engine and middleware before the build and
 	// observes the meter without charging it: traces and metrics never change
 	// the simulated cost or the model.
-	col := obs.NewCollector(*traceOut != "", *metricsOut != "")
+	col := obs.NewCollector(*traceOut != "" || *explain, *metricsOut != "")
 	if col != nil {
 		tr, pm := col.Proc("classify", meter)
 		eng.SetTracer(tr)
@@ -144,6 +146,9 @@ func run() error {
 		}
 		fmt.Printf("simulated cost: %v\n", meter.Now())
 		fmt.Printf("counters: %v\n", meter)
+		if err := writeExplain(col, *explain); err != nil {
+			return err
+		}
 		return writeObs(col, *traceOut, *traceFormat, *metricsOut)
 	}
 
@@ -230,7 +235,19 @@ func run() error {
 		}
 		fmt.Printf("wrote %s\n", *dotOut)
 	}
+	if err := writeExplain(col, *explain); err != nil {
+		return err
+	}
 	return writeObs(col, *traceOut, *traceFormat, *metricsOut)
+}
+
+// writeExplain prints the post-hoc build profile to stdout.
+func writeExplain(col *obs.Collector, explain bool) error {
+	if !explain {
+		return nil
+	}
+	fmt.Println("\nexplain (virtual-time build profile):")
+	return col.WriteProfile(os.Stdout, "text")
 }
 
 // writeObs writes the requested trace and metrics files; nil col is a no-op.

@@ -1,0 +1,79 @@
+// Command perfgate is the virtual-time perf-regression gate: it profiles the
+// fixed scenario set (internal/exp CollectPerf), compares the condensed
+// metrics against the committed baseline in BENCH_history.json, and exits
+// nonzero when any metric grew past the tolerance band. Because every metric
+// is derived from the simulator's virtual clock, the gate has zero noise —
+// it fails only when a code change actually changed simulated cost.
+//
+// Usage:
+//
+//	perfgate [-history BENCH_history.json] [-scale 0.25] [-tol 0.10]
+//	         [-explain FILE] [-update]
+//
+// -update records the current run as the new baseline (appending an entry,
+// never rewriting history) instead of gating; commit the updated file
+// together with the change that moved the numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	history := flag.String("history", "BENCH_history.json", "cumulative benchmark history file")
+	scale := flag.Float64("scale", 0.25, "workload scale factor (baselines are matched per scale)")
+	tol := flag.Float64("tol", 0.10, "relative tolerance band per metric")
+	explain := flag.String("explain", "", "write the combined profile explain report to this file")
+	update := flag.Bool("update", false, "append the current run to the history as the new baseline")
+	flag.Parse()
+
+	if err := run(*history, *scale, *tol, *explain, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(history string, scale, tol float64, explain string, update bool) error {
+	snaps, report, err := exp.CollectPerf(scale)
+	if err != nil {
+		return err
+	}
+	if explain != "" {
+		if err := os.WriteFile(explain, []byte(report), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("perfgate: explain report written to %s\n", explain)
+	}
+
+	h, err := exp.LoadPerfHistory(history)
+	if err != nil {
+		return err
+	}
+	if update {
+		h.Append(scale, snaps)
+		if err := h.Save(history); err != nil {
+			return err
+		}
+		fmt.Printf("perfgate: recorded baseline seq %d at scale %g in %s (%d scenarios)\n",
+			h.Entries[len(h.Entries)-1].Seq, scale, history, len(snaps))
+		return nil
+	}
+
+	base := h.Baseline(scale)
+	if base == nil {
+		return fmt.Errorf("no baseline at scale %g in %s; run with -update to record one", scale, history)
+	}
+	if msgs := exp.ComparePerf(base.Snapshots, snaps, tol); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintln(os.Stderr, "perfgate: REGRESSION:", m)
+		}
+		return fmt.Errorf("%d regression(s) vs baseline seq %d at tol %g", len(msgs), base.Seq, tol)
+	}
+	fmt.Printf("perfgate: OK — %d scenarios within tol %g of baseline seq %d (scale %g)\n",
+		len(snaps), tol, base.Seq, scale)
+	return nil
+}

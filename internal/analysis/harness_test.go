@@ -142,7 +142,7 @@ func TestPassingCases(t *testing.T) {
 			}
 		}
 	}
-	for _, base := range []string{"determinism", "spanend", "forkjoin", "closer", "noreentrancy", "pr3scan", "pr3staging", "skewstats", "coldict"} {
+	for _, base := range []string{"determinism", "spanend", "forkjoin", "closer", "noreentrancy", "pr3scan", "pr3staging", "skewstats", "coldict", "profsnap"} {
 		if passing[base] == 0 {
 			t.Errorf("case package %s has no passing (Ok*/Fixed*/Good*/Free*) function", base)
 		}
@@ -180,6 +180,26 @@ func TestPR3StagingShapeCaught(t *testing.T) {
 	}
 	if n < 1 {
 		t.Error("closer missed the PR 3 leaked-staging-writer shape")
+	}
+}
+
+// TestProfSnapShapeCaught is the white-box regression for the profiler's
+// span-boundary counter-snapshot pairing: a span leaked before its end-side
+// snapshot must trip spanend, and rendering a delta map in iteration order
+// must trip determinism.
+func TestProfSnapShapeCaught(t *testing.T) {
+	_, diags := loadLintdata(t)
+	counts := map[string]int{}
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "profsnap") {
+			counts[d.Analyzer]++
+		}
+	}
+	if counts["spanend"] < 1 {
+		t.Errorf("spanend missed the leaked boundary-snapshot span (got %d diagnostics)", counts["spanend"])
+	}
+	if counts["determinism"] < 1 {
+		t.Errorf("determinism missed the delta-map iteration (got %d diagnostics)", counts["determinism"])
 	}
 }
 

@@ -53,6 +53,8 @@ func (s *Span) EndAt(ns int64) {
 	}
 }
 
+func (s *Span) CaptureCounters() *Span { return s }
+
 func (s *Span) SetRows(n int64) *Span {
 	if s != nil {
 		s.Rows = n

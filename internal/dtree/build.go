@@ -70,6 +70,10 @@ func Build(m *mw.Middleware, opt Options) (*Tree, error) {
 		}
 		if l, ok := levels[depth]; ok {
 			l.lastNS = int64(m.Meter().Now())
+			// The span is closed retroactively (EndAt at build finish), so
+			// capture its counter deltas now, while the meter still reads the
+			// state at this — possibly final — node close of the level.
+			l.sp.CaptureCounters()
 		}
 	}
 

@@ -45,7 +45,8 @@ func (m *Middleware) Step() ([]*Result, error) {
 	}
 	m.meter.Charge(sim.CtrBatches, 0, 1)
 	batchNo := int(m.meter.Count(sim.CtrBatches))
-	bsp := tr.Start(obs.CatBatch, "batch").SetSource(srcName).Attr("batch", int64(batchNo))
+	bsp := tr.Start(obs.CatBatch, "batch").SetSource(srcName).Attr("batch", int64(batchNo)).
+		Attr("level", batchLevel(b))
 	defer bsp.End()
 
 	plan := m.planStaging(b)
@@ -180,7 +181,8 @@ func (m *Middleware) Step() ([]*Result, error) {
 		}
 		var scanErr error
 		var pres *parallelScanResult
-		if csrv := m.columnarServer(b); csrv != nil {
+		csrv := m.columnarServer(b)
+		if csrv != nil {
 			// The vectorized columnar kernel always runs through the
 			// worker-shard pipeline (a single lane when Workers <= 1).
 			pres, scanErr = m.runScanColumnar(b, plan, live, csrv, budget)
@@ -222,6 +224,12 @@ func (m *Middleware) Step() ([]*Result, error) {
 		}
 		if ssp != nil {
 			ssp.SetRows(m.meter.CountSince(scanSnap, scanRowCounter(b.kind)))
+			if csrv != nil {
+				// Zone-map effectiveness per scan: row groups the columnar
+				// kernel actually read vs. skipped via dictionary bounds.
+				ssp.Attr("col_groups_scanned", m.meter.CountSince(scanSnap, sim.CtrColGroupsScanned)).
+					Attr("col_groups_skipped", m.meter.CountSince(scanSnap, sim.CtrColGroupsSkipped))
+			}
 		}
 		ssp.End()
 	}
@@ -363,6 +371,30 @@ func (m *Middleware) Step() ([]*Result, error) {
 		pm.AddBatch(bs)
 	}
 	return results, nil
+}
+
+// batchLevel is the tree level a batch services: the minimum path depth (one
+// predicate conjunct per ancestor split) over its requests. Batches are
+// level-pure under the level-synchronous client protocol; a mixed batch
+// reports its shallowest node. Recorded as a span attribute so the profiler
+// can roll batches up into the levels → batches report nesting.
+func batchLevel(b *batch) int64 {
+	lvl := int64(-1)
+	note := func(r *Request) {
+		if d := int64(len(r.Path)); lvl < 0 || d < lvl {
+			lvl = d
+		}
+	}
+	for _, r := range b.reqs {
+		note(r)
+	}
+	for _, r := range b.fallback {
+		note(r)
+	}
+	if lvl < 0 {
+		lvl = 0
+	}
+	return lvl
 }
 
 // scanRowCounter maps a source tier to the counter that measures rows the

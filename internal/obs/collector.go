@@ -75,6 +75,34 @@ func (c *Collector) WriteTrace(w io.Writer, format string) error {
 	}
 }
 
+// profileWriter is the registered profile renderer. The profiler lives in
+// the subpackage internal/obs/profile — which imports obs and therefore
+// cannot be imported from here — so, in the manner of database/sql drivers,
+// importing that package registers its writer at init time.
+var profileWriter func(t *Trace, m *Metrics, w io.Writer, format string) error
+
+// RegisterProfileWriter installs the profile renderer WriteProfile delegates
+// to. Called from the profile package's init; must not be called after
+// collectors are in use.
+func RegisterProfileWriter(fn func(t *Trace, m *Metrics, w io.Writer, format string) error) {
+	profileWriter = fn
+}
+
+// WriteProfile renders the post-hoc profile of the collected trace — per-span
+// cost attribution, critical-path/slack analysis and the EXPLAIN-style report
+// — in "text" or "json" format. Requires span tracing to have been enabled
+// and the profile package to be linked in (import repro/internal/obs/profile
+// for side effects).
+func (c *Collector) WriteProfile(w io.Writer, format string) error {
+	if c == nil {
+		return nil
+	}
+	if profileWriter == nil {
+		return fmt.Errorf("obs: no profile writer registered (import repro/internal/obs/profile)")
+	}
+	return profileWriter(c.Trace, c.Metrics, w, format)
+}
+
 // WriteMetrics writes the metrics registry as indented JSON.
 func (c *Collector) WriteMetrics(w io.Writer) error {
 	if c == nil {

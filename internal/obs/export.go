@@ -113,7 +113,10 @@ func spanArgs(s *Span) map[string]any {
 	return args
 }
 
-// eventWriter streams the traceEvents array with one event per line.
+// eventWriter streams the traceEvents array with one event per line. A trace
+// with zero events renders as a compact empty array — `"traceEvents":[]` —
+// so an empty (or nil) trace still exports a valid, loadable document and
+// callers never need to guard the zero-span case.
 type eventWriter struct {
 	w     io.Writer
 	err   error
@@ -122,11 +125,14 @@ type eventWriter struct {
 
 func (ew *eventWriter) begin() {
 	ew.first = true
-	ew.write([]byte("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"))
+	ew.write([]byte("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["))
 }
 
 func (ew *eventWriter) end() {
-	ew.write([]byte("\n]}\n"))
+	if !ew.first {
+		ew.write([]byte("\n"))
+	}
+	ew.write([]byte("]}\n"))
 }
 
 func (ew *eventWriter) emit(ev traceEvent) {
@@ -138,7 +144,9 @@ func (ew *eventWriter) emit(ev traceEvent) {
 		ew.err = err
 		return
 	}
-	if !ew.first {
+	if ew.first {
+		ew.write([]byte("\n"))
+	} else {
 		ew.write([]byte(",\n"))
 	}
 	ew.first = false
@@ -171,39 +179,59 @@ type ndSpan struct {
 	Rows    int64  `json:"rows,omitempty"`
 	Bytes   int64  `json:"bytes,omitempty"`
 	Part    string `json:"part,omitempty"`
+	Overlay bool   `json:"overlay,omitempty"`
 	Attrs   []Attr `json:"attrs,omitempty"`
 }
 
+// ndSummary is the trailer line closing every NDJSON export: it makes the
+// document self-describing (a consumer can verify it read every span) and
+// guarantees an empty — even nil — trace still emits one valid JSON line
+// rather than zero bytes.
+type ndSummary struct {
+	Type  string `json:"type"`
+	Procs int    `json:"procs"`
+	Spans int    `json:"spans"`
+}
+
 // WriteNDJSON writes one JSON object per span, one per line, in deterministic
-// order (procs in registration order, spans in record order) — the
-// grep/jq-friendly counterpart of WriteChrome.
+// order (procs in registration order, spans in record order), closed by one
+// `{"type":"trace", ...}` summary line — the grep/jq-friendly counterpart of
+// WriteChrome.
 func (t *Trace) WriteNDJSON(w io.Writer) error {
-	if t == nil {
-		return nil
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, p := range t.procs {
-		for _, s := range p.spans {
-			ns := ndSpan{
-				Type: "span", Proc: p.id, ProcN: p.name,
-				Track: s.Track, TrackN: p.tracks[s.Track],
-				ID: s.ID, Parent: s.Parent, Cat: s.Cat, Name: s.Name,
-				StartNS: s.Start, DurNS: s.Dur,
-				Source: s.Source, Nodes: s.Nodes, Rows: s.Rows, Bytes: s.Bytes,
-				Attrs: s.Attrs,
-			}
-			if s.NParts > 0 {
-				ns.Part = strconv.Itoa(s.Part) + "/" + strconv.Itoa(s.NParts)
-			}
-			b, err := json.Marshal(ns)
-			if err != nil {
-				return err
-			}
-			if _, err := w.Write(append(b, '\n')); err != nil {
-				return err
+	procs, spans := 0, 0
+	if t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		procs = len(t.procs)
+		for _, p := range t.procs {
+			spans += len(p.spans)
+			for _, s := range p.spans {
+				ns := ndSpan{
+					Type: "span", Proc: p.id, ProcN: p.name,
+					Track: s.Track, TrackN: p.tracks[s.Track],
+					ID: s.ID, Parent: s.Parent, Cat: s.Cat, Name: s.Name,
+					StartNS: s.Start, DurNS: s.Dur,
+					Source: s.Source, Nodes: s.Nodes, Rows: s.Rows, Bytes: s.Bytes,
+					Overlay: s.Overlay,
+					Attrs:   s.Attrs,
+				}
+				if s.NParts > 0 {
+					ns.Part = strconv.Itoa(s.Part) + "/" + strconv.Itoa(s.NParts)
+				}
+				b, err := json.Marshal(ns)
+				if err != nil {
+					return err
+				}
+				if _, err := w.Write(append(b, '\n')); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return nil
+	b, err := json.Marshal(ndSummary{Type: "trace", Procs: procs, Spans: spans})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }

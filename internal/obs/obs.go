@@ -74,7 +74,23 @@ type Span struct {
 	NParts int
 	Attrs  []Attr
 
-	tr *Tracer // owner while open; nil once ended
+	// Deltas holds the counter movement of the span's own clock domain over
+	// the span window, captured at End (or by an explicit CaptureCounters
+	// before a retroactive EndAt). Nil means no capture happened — the span
+	// was never ended. The vector is inclusive: child-span work on the same
+	// clock is part of it; the profiler (internal/obs/profile) subtracts
+	// children to derive exclusive costs.
+	Deltas *sim.CounterVec
+
+	// Overlay marks spans recorded on a descriptive overlay track (Tracer.
+	// Track) — e.g. the client-side level view, which intentionally overlaps
+	// the build span in virtual time. The profiler reports overlay spans
+	// separately and excludes them from exclusive-cost attribution, which
+	// would otherwise double-count their windows.
+	Overlay bool
+
+	startCounts sim.CounterVec // owning clock's counters at Start
+	tr          *Tracer        // owner while open; nil once ended
 }
 
 // proc is one virtual-clock domain: one meter's worth of spans plus its track
@@ -142,16 +158,41 @@ func (t *Trace) NumSpans() int {
 	return n
 }
 
+// ProcView is the read-only per-proc view EachProc hands to post-hoc
+// consumers such as the profiler (internal/obs/profile).
+type ProcView struct {
+	ID     int
+	Name   string
+	Tracks []string // track id -> name
+	Spans  []*Span  // in record order
+}
+
+// EachProc invokes fn once per registered proc in registration order. The
+// slices in the view alias the trace's live backing arrays: callers must
+// treat them as read-only and only walk a trace after all span activity on it
+// has finished.
+func (t *Trace) EachProc(fn func(ProcView)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.procs {
+		fn(ProcView{ID: p.id, Name: p.name, Tracks: p.tracks, Spans: p.spans})
+	}
+}
+
 // Tracer opens spans against one proc on one track. Like a sim.Meter it is
 // single-goroutine: parallel scans fork lane tracers (ForkLanes) instead of
 // sharing one. The zero-value rule is nil = disabled: every method on a nil
 // *Tracer is a no-op returning nil.
 type Tracer struct {
-	p      *proc
-	clock  *sim.Meter
-	track  int
-	offset int64 // added to clock readings (lane tracers: parent time at fork)
-	stack  []*Span
+	p       *proc
+	clock   *sim.Meter
+	track   int
+	offset  int64 // added to clock readings (lane tracers: parent time at fork)
+	overlay bool  // descriptive overlay track (Track): spans marked Span.Overlay
+	stack   []*Span
 
 	// Lane state: spans buffer locally with temporary negative ids until
 	// JoinLanes folds them into the proc in lane order.
@@ -171,7 +212,11 @@ func (t *Tracer) Start(cat, name string) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{Proc: t.procID(), Track: t.track, Cat: cat, Name: name, Start: t.now(), tr: t}
+	s := &Span{
+		Proc: t.procID(), Track: t.track, Cat: cat, Name: name,
+		Start: t.now(), Overlay: t.overlay,
+		startCounts: t.clock.CounterVec(), tr: t,
+	}
 	if t.detached {
 		t.nextTemp--
 		s.ID = t.nextTemp
@@ -204,7 +249,7 @@ func (t *Tracer) Track(name string) *Tracer {
 	if t == nil {
 		return nil
 	}
-	return &Tracer{p: t.p, clock: t.clock, track: t.p.trackID(name)}
+	return &Tracer{p: t.p, clock: t.clock, track: t.p.trackID(name), overlay: true}
 }
 
 // ForkLanes returns one lane tracer per lane meter, buffering spans privately
@@ -270,11 +315,15 @@ func (s *Span) End() {
 		return
 	}
 	s.Dur = s.tr.now() - s.Start
+	s.captureCounters()
 	s.popStack()
 }
 
 // EndAt closes the span at an explicit virtual time (ns in the proc's clock
-// domain), for spans whose logical end was observed earlier than the call.
+// domain), for spans whose logical end was observed earlier than the call. An
+// earlier CaptureCounters result is kept — by the time EndAt runs the clock
+// has usually moved past the recorded end, so a fresh capture would attribute
+// later work to the span; without one, counters are captured here.
 func (s *Span) EndAt(ns int64) {
 	if s == nil || s.tr == nil {
 		return
@@ -283,7 +332,27 @@ func (s *Span) EndAt(ns int64) {
 	if s.Dur < 0 {
 		s.Dur = 0
 	}
+	if s.Deltas == nil {
+		s.captureCounters()
+	}
 	s.popStack()
+}
+
+// CaptureCounters records the span's inclusive counter deltas as of the
+// owning clock's current state, overwriting any earlier capture. End captures
+// automatically; callers that close spans retroactively with EndAt invoke
+// this at each moment the span's logical end time advances (the client-side
+// level spans do, at every node close). Nil-safe and chainable.
+func (s *Span) CaptureCounters() *Span {
+	if s != nil && s.tr != nil {
+		s.captureCounters()
+	}
+	return s
+}
+
+func (s *Span) captureCounters() {
+	d := s.tr.clock.CounterVec().Delta(s.startCounts)
+	s.Deltas = &d
 }
 
 func (s *Span) popStack() {

@@ -160,14 +160,21 @@ func TestForkJoinDeterministic(t *testing.T) {
 	}
 	// Lane spans land on their own tracks with the batch span as parent.
 	lines := strings.Split(strings.TrimSpace(string(ref)), "\n")
-	if len(lines) != 5 { // batch + 4 lanes
-		t.Fatalf("span count = %d, want 5", len(lines))
+	if len(lines) != 6 { // batch + 4 lanes + trailer
+		t.Fatalf("line count = %d, want 6", len(lines))
+	}
+	var sum ndSummary
+	if err := json.Unmarshal([]byte(lines[5]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Type != "trace" || sum.Procs != 1 || sum.Spans != 5 {
+		t.Fatalf("trailer = %+v, want trace/1/5", sum)
 	}
 	var batch ndSpan
 	if err := json.Unmarshal([]byte(lines[0]), &batch); err != nil {
 		t.Fatal(err)
 	}
-	for i, ln := range lines[1:] {
+	for i, ln := range lines[1:5] {
 		var s ndSpan
 		if err := json.Unmarshal([]byte(ln), &s); err != nil {
 			t.Fatal(err)
@@ -326,8 +333,9 @@ func TestCollectorTraceFormats(t *testing.T) {
 	if !json.Valid(chrome.Bytes()) {
 		t.Fatal("chrome trace invalid JSON")
 	}
+	first, _, _ := bytes.Cut(bytes.TrimSpace(nd.Bytes()), []byte("\n"))
 	var s ndSpan
-	if err := json.Unmarshal(bytes.TrimSpace(nd.Bytes()), &s); err != nil || s.Name != "b" {
+	if err := json.Unmarshal(first, &s); err != nil || s.Name != "b" {
 		t.Fatalf("ndjson span: %v %+v", err, s)
 	}
 	if err := c.WriteTrace(&chrome, "bogus"); err == nil {

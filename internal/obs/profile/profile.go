@@ -1,0 +1,656 @@
+// Package profile is the post-hoc profiler for the observability layer: it
+// consumes a finished obs.Trace (plus, optionally, the metrics registry) and
+// attributes every virtual nanosecond and every counter delta of a build to
+// the span that spent it.
+//
+// Three analyses come out of one Compute pass:
+//
+//   - Per-span cost attribution. Every span carries the counter vector of its
+//     clock domain captured at its start and end boundaries (obs.Span.Deltas),
+//     so its inclusive cost is exact; exclusive cost subtracts the children.
+//     Exclusive virtual time is derived by a segment sweep that assigns every
+//     instant of the proc's timeline to exactly one span, so exclusive times
+//     sum to the total build virtual time — no instant is counted twice or
+//     dropped, which TestAttributionSumsToTotal asserts as a property.
+//
+//   - Critical-path analysis over the Fork/Join lane DAG. Concurrent lane
+//     spans (children of one parent on distinct render tracks) form a fork
+//     group; the lane whose busy time bounds the join barrier is the critical
+//     lane, every other lane's slack is the virtual time it idled at the
+//     barrier, and the fork group with the largest total slack names the
+//     batch/source whose imbalance costs the most (the skew diagnosis).
+//     The same rule drives exclusive-time attribution: concurrent instants
+//     resolve to the span that bounds the barrier, mirroring how
+//     sim.Meter.Join advances the parent clock by max(lane elapsed).
+//
+//   - An EXPLAIN ANALYZE-style report (report.go): a deterministic text or
+//     JSON tree mirroring the build — levels, batches, scans, stages,
+//     fallback arms — with inclusive/exclusive costs, percent of total and
+//     critical-path markers. Byte-identical across GOMAXPROCS and reruns,
+//     same as the traces it reads.
+//
+// Importing this package registers its renderer with the obs package
+// (obs.RegisterProfileWriter), enabling obs.Collector.WriteProfile.
+package profile
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Profile is the full result of one Compute pass: one Proc per virtual-clock
+// domain in the trace, in registration order.
+type Profile struct {
+	Procs []*Proc `json:"procs"`
+}
+
+// Proc is the profile of one virtual-clock domain (one build).
+type Proc struct {
+	ID    int    `json:"proc"`
+	Label string `json:"label"`
+
+	TotalNS        int64 `json:"total_ns"`        // end of the last non-overlay span
+	AttributedNS   int64 `json:"attributed_ns"`   // sum of exclusive times over the span forest
+	UnattributedNS int64 `json:"unattributed_ns"` // timeline instants covered by no span
+	Spans          int   `json:"spans"`           // non-overlay spans
+	OverlaySpans   int   `json:"overlay_spans"`
+
+	// Counters holds the proc's total counter values (the sum of the root
+	// spans' inclusive deltas), keyed by counter name, non-zero entries only.
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	Roots    []*Node        `json:"tree,omitempty"`
+	Overlays []*Node        `json:"overlays,omitempty"` // client-side level view etc.
+	ByCat    []Rollup       `json:"by_cat,omitempty"`
+	BySource []Rollup       `json:"by_source,omitempty"`
+	ByLevel  []LevelRollup  `json:"by_level,omitempty"`
+	Hot      []HotSpan      `json:"hot_spans,omitempty"`
+	Forks    []*ForkGroup   `json:"forks,omitempty"`
+	Skew     *SkewDiagnosis `json:"skew,omitempty"`
+}
+
+// Node is one span in the attribution forest.
+type Node struct {
+	ID       int64            `json:"id"`
+	Cat      string           `json:"cat"`
+	Name     string           `json:"name"`
+	Source   string           `json:"source,omitempty"`
+	Track    string           `json:"track,omitempty"` // non-main tracks (lanes)
+	StartNS  int64            `json:"start_ns"`
+	InclNS   int64            `json:"incl_ns"`
+	ExclNS   int64            `json:"excl_ns"`
+	PctBP    int64            `json:"excl_pct_bp"` // exclusive time in basis points of the proc total
+	Rows     int64            `json:"rows,omitempty"`
+	Part     string           `json:"part,omitempty"`
+	Critical bool             `json:"critical,omitempty"`
+	Attrs    []obs.Attr       `json:"attrs,omitempty"`
+	Incl     map[string]int64 `json:"counters_incl,omitempty"`
+	Excl     map[string]int64 `json:"counters_excl,omitempty"`
+	Children []*Node          `json:"children,omitempty"`
+
+	span    *obs.Span
+	up      *Node // parent in the attribution forest; nil for roots
+	inclVec sim.CounterVec
+	exclVec sim.CounterVec
+}
+
+// EndNS returns the node's span end time.
+func (n *Node) EndNS() int64 { return n.StartNS + n.InclNS }
+
+// ExclCounter returns the node's exclusive delta for one counter.
+func (n *Node) ExclCounter(c sim.Counter) int64 { return n.exclVec.Get(c) }
+
+// Rollup aggregates exclusive costs over one span dimension (category or
+// source tier).
+type Rollup struct {
+	Key      string           `json:"key"`
+	Spans    int              `json:"spans"`
+	InclNS   int64            `json:"incl_ns"`
+	ExclNS   int64            `json:"excl_ns"`
+	PctBP    int64            `json:"excl_pct_bp"`
+	Counters map[string]int64 `json:"counters,omitempty"` // exclusive deltas
+
+	vec sim.CounterVec
+}
+
+// LevelRollup aggregates the batches serving one tree level (from the batch
+// spans' "level" attribute).
+type LevelRollup struct {
+	Level    int64            `json:"level"`
+	Batches  int              `json:"batches"`
+	InclNS   int64            `json:"incl_ns"` // summed inclusive batch time
+	StartNS  int64            `json:"start_ns"`
+	EndNS    int64            `json:"end_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"` // inclusive deltas
+
+	vec sim.CounterVec
+}
+
+// HotSpan is one entry of the top-exclusive-time table.
+type HotSpan struct {
+	ID     int64  `json:"id"`
+	Cat    string `json:"cat"`
+	Name   string `json:"name"`
+	Source string `json:"source,omitempty"`
+	ExclNS int64  `json:"excl_ns"`
+	PctBP  int64  `json:"excl_pct_bp"`
+}
+
+// LaneCost is one lane of a fork group.
+type LaneCost struct {
+	Track   string `json:"track"` // render track name, e.g. "lane 2"
+	Spans   int    `json:"spans"`
+	BusyNS  int64  `json:"busy_ns"`  // fork to the lane's last span end
+	SlackNS int64  `json:"slack_ns"` // barrier - busy: idle time at the join
+	Rows    int64  `json:"rows,omitempty"`
+}
+
+// ForkGroup is one Fork/Join barrier: the concurrent lanes under one parent
+// span, with per-lane busy time and join slack.
+type ForkGroup struct {
+	Parent       int64      `json:"parent"` // span id the lanes forked under
+	ParentCat    string     `json:"parent_cat"`
+	ParentName   string     `json:"parent_name"`
+	Batch        int64      `json:"batch,omitempty"` // enclosing batch ordinal
+	Source       string     `json:"source,omitempty"`
+	ForkNS       int64      `json:"fork_ns"`
+	BarrierNS    int64      `json:"barrier_ns"` // fork + max lane busy
+	Lanes        []LaneCost `json:"lanes"`
+	CriticalLane string     `json:"critical_lane"` // track name of the lane bounding the barrier
+	TotalSlackNS int64      `json:"total_slack_ns"`
+}
+
+// SkewDiagnosis names the join barrier whose lane imbalance costs the most
+// virtual time across the whole build.
+type SkewDiagnosis struct {
+	Batch        int64  `json:"batch,omitempty"`
+	Source       string `json:"source,omitempty"`
+	Parent       int64  `json:"parent"`
+	ParentCat    string `json:"parent_cat"`
+	CriticalLane string `json:"critical_lane"`
+	BusyNS       int64  `json:"critical_busy_ns"`
+	TotalSlackNS int64  `json:"total_slack_ns"`
+	PctBP        int64  `json:"slack_pct_bp"` // slack as basis points of the proc total
+}
+
+// pctBP returns v as basis points (hundredths of a percent) of total.
+func pctBP(v, total int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	return v * 10_000 / total
+}
+
+// Compute profiles a finished trace. The metrics registry is optional (may be
+// nil); when present it is only read, never mutated. The trace must be
+// quiescent: no spans may be opened or ended during or after the call.
+func Compute(t *obs.Trace, m *obs.Metrics) *Profile {
+	p := &Profile{}
+	t.EachProc(func(pv obs.ProcView) {
+		p.Procs = append(p.Procs, computeProc(pv))
+	})
+	_ = m // reserved: per-batch budget/residency enrichment reads the registry
+	return p
+}
+
+func computeProc(pv obs.ProcView) *Proc {
+	proc := &Proc{ID: pv.ID, Label: pv.Name}
+
+	// Split overlay spans (client-side level view: intentionally overlapping
+	// windows) from the attribution forest and wrap everything in Nodes.
+	byID := make(map[int64]*Node, len(pv.Spans))
+	var normal, overlays []*Node
+	for _, s := range pv.Spans {
+		n := newNode(s, pv.Tracks)
+		if s.Overlay {
+			overlays = append(overlays, n)
+		} else {
+			normal = append(normal, n)
+			byID[n.ID] = n
+		}
+	}
+	proc.Spans = len(normal)
+	proc.OverlaySpans = len(overlays)
+	sortNodes(overlays)
+	proc.Overlays = overlays
+
+	// Link the forest. A parent id that resolves to no non-overlay node (or
+	// 0) makes the span a root.
+	var roots []*Node
+	for _, n := range normal {
+		if parent := byID[n.span.Parent]; parent != nil {
+			parent.Children = append(parent.Children, n)
+			n.up = parent
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range normal {
+		sortNodes(n.Children)
+		if end := n.EndNS(); end > proc.TotalNS {
+			proc.TotalNS = end
+		}
+	}
+	sortNodes(roots)
+	proc.Roots = roots
+
+	// Exclusive-time attribution: sweep the whole timeline once, assigning
+	// every instant to exactly one span (or to UnattributedNS).
+	if proc.TotalNS > 0 {
+		virtualRoot := &Node{InclNS: proc.TotalNS, Children: roots}
+		attributeTime(virtualRoot, []segment{{0, proc.TotalNS}})
+		proc.UnattributedNS = virtualRoot.ExclNS
+	}
+
+	// Exclusive counters: own inclusive deltas minus the children's.
+	for _, n := range normal {
+		n.exclVec = n.inclVec
+		for _, c := range n.Children {
+			n.exclVec.Sub(&c.inclVec)
+		}
+	}
+	counters := sim.CounterVec{}
+	for _, r := range roots {
+		counters.Add(&r.inclVec)
+	}
+	proc.Counters = counterMap(&counters)
+
+	// Fork groups, critical path, slack and skew.
+	proc.Forks = forkGroups(normal, pv.Tracks)
+	markCritical(roots, proc.Forks, byID)
+	proc.Skew = diagnoseSkew(proc.Forks, byID, proc.TotalNS)
+
+	// Fill derived per-node fields and rollups now that attribution is done.
+	for _, n := range normal {
+		proc.AttributedNS += n.ExclNS
+		n.PctBP = pctBP(n.ExclNS, proc.TotalNS)
+		n.Incl = counterMap(&n.inclVec)
+		n.Excl = counterMap(&n.exclVec)
+	}
+	proc.ByCat = rollupBy(normal, proc.TotalNS, func(n *Node) string { return n.Cat })
+	proc.BySource = rollupBy(normal, proc.TotalNS, func(n *Node) string { return n.Source })
+	proc.ByLevel = rollupLevels(normal)
+	proc.Hot = hotSpans(normal, proc.TotalNS)
+	return proc
+}
+
+func newNode(s *obs.Span, tracks []string) *Node {
+	n := &Node{
+		ID: s.ID, Cat: s.Cat, Name: s.Name, Source: s.Source,
+		StartNS: s.Start, InclNS: s.Dur, Rows: s.Rows,
+		Attrs: s.Attrs, span: s,
+	}
+	if s.Track > 0 && s.Track < len(tracks) {
+		n.Track = tracks[s.Track]
+	}
+	if s.NParts > 0 {
+		n.Part = strconv.Itoa(s.Part) + "/" + strconv.Itoa(s.NParts)
+	}
+	if s.Deltas != nil {
+		n.inclVec = *s.Deltas
+	}
+	return n
+}
+
+// sortNodes orders siblings by start time, then id — the deterministic
+// rendering and attribution order.
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].StartNS != ns[j].StartNS {
+			return ns[i].StartNS < ns[j].StartNS
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// segment is one half-open [lo, hi) slice of the timeline.
+type segment struct{ lo, hi int64 }
+
+// attributeTime assigns every instant of n's owned segments either to the
+// covering child that owns it or to n's own exclusive time, then recurses.
+// Among children covering the same instant (concurrent lane spans), the owner
+// is the one with the latest start, then the latest end, then the smallest
+// id: the lane that bounds the join barrier — i.e. the critical path — owns
+// the shared window, mirroring how sim.Meter.Join advances the parent clock
+// by max(lane elapsed). The sweep partitions time exactly: summed exclusive
+// times equal the total timeline.
+func attributeTime(n *Node, owned []segment) {
+	kids := n.Children
+	if len(kids) == 0 {
+		for _, s := range owned {
+			n.ExclNS += s.hi - s.lo
+		}
+		return
+	}
+	cuts := make([]int64, 0, 2*len(kids))
+	for _, k := range kids {
+		cuts = append(cuts, k.StartNS, k.EndNS())
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	childOwned := make([][]segment, len(kids))
+	for _, s := range owned {
+		lo := s.lo
+		ci := 0
+		for lo < s.hi {
+			// hi of this elementary interval: the next cut strictly past lo.
+			hi := s.hi
+			for ; ci < len(cuts); ci++ {
+				if cuts[ci] > lo {
+					if cuts[ci] < hi {
+						hi = cuts[ci]
+					}
+					break
+				}
+			}
+			owner := -1
+			for i, k := range kids {
+				if k.StartNS > lo || k.EndNS() < hi {
+					continue // does not cover [lo, hi)
+				}
+				if owner < 0 {
+					owner = i
+					continue
+				}
+				o := kids[owner]
+				switch {
+				case k.StartNS != o.StartNS:
+					if k.StartNS > o.StartNS {
+						owner = i
+					}
+				case k.EndNS() != o.EndNS():
+					if k.EndNS() > o.EndNS() {
+						owner = i
+					}
+				case k.ID < o.ID:
+					owner = i
+				}
+			}
+			if owner < 0 {
+				n.ExclNS += hi - lo
+			} else if segs := childOwned[owner]; len(segs) > 0 && segs[len(segs)-1].hi == lo {
+				childOwned[owner][len(segs)-1].hi = hi
+			} else {
+				childOwned[owner] = append(childOwned[owner], segment{lo, hi})
+			}
+			lo = hi
+		}
+	}
+	for i, k := range kids {
+		attributeTime(k, childOwned[i])
+	}
+}
+
+// forkGroups finds every Fork/Join barrier: a parent whose children occupy
+// two or more non-parent render tracks ran those tracks as concurrent lanes.
+func forkGroups(nodes []*Node, tracks []string) []*ForkGroup {
+	var groups []*ForkGroup
+	for _, n := range nodes { // nodes are in record order; groups inherit it
+		type laneAgg struct {
+			track       string
+			spans       int
+			first, last int64
+			rows        int64
+		}
+		byTrack := map[int]*laneAgg{}
+		var order []int
+		for _, k := range n.Children {
+			if k.span.Track == n.span.Track {
+				continue // same-track children are sequential, not lanes
+			}
+			la := byTrack[k.span.Track]
+			if la == nil {
+				name := ""
+				if k.span.Track < len(tracks) {
+					name = tracks[k.span.Track]
+				}
+				la = &laneAgg{track: name, first: k.StartNS, last: k.EndNS()}
+				byTrack[k.span.Track] = la
+				order = append(order, k.span.Track)
+			}
+			la.spans++
+			la.rows += k.Rows
+			if k.StartNS < la.first {
+				la.first = k.StartNS
+			}
+			if e := k.EndNS(); e > la.last {
+				la.last = e
+			}
+		}
+		if len(order) < 2 {
+			continue
+		}
+		sort.Ints(order)
+		g := &ForkGroup{
+			Parent: n.ID, ParentCat: n.Cat, ParentName: n.Name, Source: n.Source,
+		}
+		if b := enclosingBatch(n); b != nil {
+			g.Batch = attrInt(b, "batch", 0)
+			if g.Source == "" {
+				g.Source = b.Source
+			}
+		}
+		fork := int64(-1)
+		for _, tid := range order {
+			la := byTrack[tid]
+			if fork < 0 || la.first < fork {
+				fork = la.first
+			}
+		}
+		g.ForkNS = fork
+		g.BarrierNS = fork
+		for _, tid := range order {
+			la := byTrack[tid]
+			if la.last > g.BarrierNS {
+				g.BarrierNS = la.last
+			}
+		}
+		for _, tid := range order {
+			la := byTrack[tid]
+			busy := la.last - fork
+			g.Lanes = append(g.Lanes, LaneCost{
+				Track: la.track, Spans: la.spans, BusyNS: busy,
+				SlackNS: g.BarrierNS - la.last, Rows: la.rows,
+			})
+			g.TotalSlackNS += g.BarrierNS - la.last
+		}
+		// Critical lane: the first lane (lowest track id) with zero slack.
+		for _, lc := range g.Lanes {
+			if lc.SlackNS == 0 {
+				g.CriticalLane = lc.Track
+				break
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// enclosingBatch walks up the attribution forest to the nearest batch span.
+func enclosingBatch(n *Node) *Node {
+	for cur := n; cur != nil; cur = cur.up {
+		if cur.Cat == obs.CatBatch {
+			return cur
+		}
+	}
+	return nil
+}
+
+// markCritical marks the chain of spans that determines the virtual clock: in
+// the serial regions everything is critical; at each fork group only the
+// critical lane's subtree stays on the path, every other lane's subtree is
+// slack.
+func markCritical(roots []*Node, groups []*ForkGroup, byID map[int64]*Node) {
+	var markAll func(n *Node, v bool)
+	markAll = func(n *Node, v bool) {
+		n.Critical = v
+		for _, k := range n.Children {
+			markAll(k, v)
+		}
+	}
+	for _, r := range roots {
+		markAll(r, true)
+	}
+	for _, g := range groups {
+		parent := byID[g.Parent]
+		if parent == nil || !parent.Critical {
+			continue
+		}
+		for _, k := range parent.Children {
+			// Lane children (off the parent's own track) that are not on the
+			// critical lane are join slack, subtrees included.
+			if k.span.Track != parent.span.Track && k.Track != g.CriticalLane {
+				markAll(k, false)
+			}
+		}
+	}
+}
+
+// diagnoseSkew picks the fork group whose total join slack is largest.
+func diagnoseSkew(groups []*ForkGroup, byID map[int64]*Node, totalNS int64) *SkewDiagnosis {
+	var worst *ForkGroup
+	for _, g := range groups {
+		if g.TotalSlackNS == 0 {
+			continue
+		}
+		if worst == nil || g.TotalSlackNS > worst.TotalSlackNS ||
+			(g.TotalSlackNS == worst.TotalSlackNS && g.Parent < worst.Parent) {
+			worst = g
+		}
+	}
+	if worst == nil {
+		return nil
+	}
+	d := &SkewDiagnosis{
+		Batch: worst.Batch, Source: worst.Source,
+		Parent: worst.Parent, ParentCat: worst.ParentCat,
+		CriticalLane: worst.CriticalLane,
+		TotalSlackNS: worst.TotalSlackNS,
+		PctBP:        pctBP(worst.TotalSlackNS, totalNS),
+	}
+	for _, lc := range worst.Lanes {
+		if lc.Track == worst.CriticalLane {
+			d.BusyNS = lc.BusyNS
+			break
+		}
+	}
+	_ = byID
+	return d
+}
+
+// rollupBy aggregates exclusive costs by a key function, skipping empty keys,
+// sorted by descending exclusive time then key.
+func rollupBy(nodes []*Node, totalNS int64, key func(*Node) string) []Rollup {
+	idx := map[string]int{}
+	var out []Rollup
+	for _, n := range nodes {
+		k := key(n)
+		if k == "" {
+			continue
+		}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, Rollup{Key: k})
+		}
+		out[i].Spans++
+		out[i].InclNS += n.InclNS
+		out[i].ExclNS += n.ExclNS
+		out[i].vec.Add(&n.exclVec)
+	}
+	for i := range out {
+		out[i].PctBP = pctBP(out[i].ExclNS, totalNS)
+		out[i].Counters = counterMap(&out[i].vec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExclNS != out[j].ExclNS {
+			return out[i].ExclNS > out[j].ExclNS
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// rollupLevels aggregates batch spans by their "level" attribute.
+func rollupLevels(nodes []*Node) []LevelRollup {
+	idx := map[int64]int{}
+	var out []LevelRollup
+	for _, n := range nodes {
+		if n.Cat != obs.CatBatch {
+			continue
+		}
+		lvl := attrInt(n, "level", -1)
+		if lvl < 0 {
+			continue
+		}
+		i, ok := idx[lvl]
+		if !ok {
+			i = len(out)
+			idx[lvl] = i
+			out = append(out, LevelRollup{Level: lvl, StartNS: n.StartNS, EndNS: n.EndNS()})
+		}
+		out[i].Batches++
+		out[i].InclNS += n.InclNS
+		out[i].vec.Add(&n.inclVec)
+		if n.StartNS < out[i].StartNS {
+			out[i].StartNS = n.StartNS
+		}
+		if e := n.EndNS(); e > out[i].EndNS {
+			out[i].EndNS = e
+		}
+	}
+	for i := range out {
+		out[i].Counters = counterMap(&out[i].vec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level < out[j].Level })
+	return out
+}
+
+// hotSpans returns the top spans by exclusive time (at most 10, non-zero
+// only), ties broken by id.
+func hotSpans(nodes []*Node, totalNS int64) []HotSpan {
+	byCost := append([]*Node(nil), nodes...)
+	sort.Slice(byCost, func(i, j int) bool {
+		if byCost[i].ExclNS != byCost[j].ExclNS {
+			return byCost[i].ExclNS > byCost[j].ExclNS
+		}
+		return byCost[i].ID < byCost[j].ID
+	})
+	var out []HotSpan
+	for _, n := range byCost {
+		if n.ExclNS == 0 || len(out) == 10 {
+			break
+		}
+		out = append(out, HotSpan{
+			ID: n.ID, Cat: n.Cat, Name: n.Name, Source: n.Source,
+			ExclNS: n.ExclNS, PctBP: pctBP(n.ExclNS, totalNS),
+		})
+	}
+	return out
+}
+
+// attrInt returns the span's integer attribute by key, or def when absent.
+func attrInt(n *Node, key string, def int64) int64 {
+	for _, a := range n.Attrs {
+		if a.Key == key && a.S == "" {
+			return a.I
+		}
+	}
+	return def
+}
+
+// counterMap converts a counter vector to the name-keyed map the JSON report
+// serializes (encoding/json sorts the keys). Nil when all-zero.
+func counterMap(v *sim.CounterVec) map[string]int64 {
+	if v.IsZero() {
+		return nil
+	}
+	out := make(map[string]int64)
+	v.EachNonZero(func(c sim.Counter, n int64) {
+		out[c.String()] = n
+	})
+	return out
+}

@@ -1,0 +1,272 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func init() {
+	obs.RegisterProfileWriter(func(t *obs.Trace, m *obs.Metrics, w io.Writer, format string) error {
+		p := Compute(t, m)
+		switch format {
+		case "", "text":
+			return p.WriteText(w)
+		case "json":
+			return p.WriteJSON(w)
+		default:
+			return fmt.Errorf("profile: unknown format %q (want text or json)", format)
+		}
+	})
+}
+
+// WriteJSON writes the whole profile as indented JSON. Struct field order and
+// sorted map keys make the output byte-deterministic.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// secs renders virtual nanoseconds as seconds with microsecond precision,
+// via integer math only (byte-deterministic, no float formatting).
+func secs(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%06ds", sign, ns/1_000_000_000, (ns%1_000_000_000)/1_000)
+}
+
+// pct renders basis points as a percentage with two decimals.
+func pct(bp int64) string {
+	sign := ""
+	if bp < 0 {
+		sign, bp = "-", -bp
+	}
+	return fmt.Sprintf("%s%d.%02d%%", sign, bp/100, bp%100)
+}
+
+// WriteText writes the EXPLAIN ANALYZE-style report: per proc, the span tree
+// with inclusive/exclusive costs and critical-path markers, the level/batch
+// breakdown, the top cost centers, the per-category and per-source rollups,
+// every fork barrier's lane slack, and the skew diagnosis. Deterministic:
+// byte-identical across reruns and GOMAXPROCS, same as the trace it reads.
+func (p *Profile) WriteText(w io.Writer) error {
+	tw := &errWriter{w: w}
+	if len(p.Procs) == 0 {
+		tw.printf("profile: empty trace (no procs)\n")
+		return tw.err
+	}
+	for i, proc := range p.Procs {
+		if i > 0 {
+			tw.printf("\n")
+		}
+		writeProcText(tw, proc)
+	}
+	return tw.err
+}
+
+func writeProcText(tw *errWriter, proc *Proc) {
+	tw.printf("== proc %d %q ==\n", proc.ID, proc.Label)
+	tw.printf("total %s   spans %d", secs(proc.TotalNS), proc.Spans)
+	if proc.OverlaySpans > 0 {
+		tw.printf(" (+%d overlay)", proc.OverlaySpans)
+	}
+	tw.printf("   attributed %s (%s)", secs(proc.AttributedNS), pct(pctBP(proc.AttributedNS, proc.TotalNS)))
+	if proc.UnattributedNS != 0 {
+		tw.printf("   unattributed %s", secs(proc.UnattributedNS))
+	}
+	tw.printf("\n")
+
+	if len(proc.Roots) > 0 {
+		tw.printf("\nspan tree (* = critical path; incl / excl / excl%% of total):\n")
+		for _, r := range proc.Roots {
+			writeNodeText(tw, proc, r, 0)
+		}
+	}
+	if len(proc.Overlays) > 0 {
+		tw.printf("\nclient level view (overlay spans, excluded from attribution):\n")
+		for _, o := range proc.Overlays {
+			tw.printf("  %-24s %s .. %s  incl %s%s\n",
+				o.Name, secs(o.StartNS), secs(o.EndNS()), secs(o.InclNS),
+				topCounters(&o.inclVec, 3))
+		}
+	}
+	if len(proc.Hot) > 0 {
+		tw.printf("\ncost centers (top exclusive time):\n")
+		for i, h := range proc.Hot {
+			loc := h.Cat + "/" + h.Name
+			if h.Source != "" {
+				loc += " [" + h.Source + "]"
+			}
+			tw.printf("  %2d. %-36s span %-5d excl %s  %s\n",
+				i+1, loc, h.ID, secs(h.ExclNS), pct(h.PctBP))
+		}
+	}
+	if len(proc.ByCat) > 0 {
+		tw.printf("\nby category (exclusive):\n")
+		for _, r := range proc.ByCat {
+			tw.printf("  %-10s %4d spans  excl %s  %s%s\n",
+				r.Key, r.Spans, secs(r.ExclNS), pct(r.PctBP), topCounters(&r.vec, 3))
+		}
+	}
+	if len(proc.BySource) > 0 {
+		tw.printf("\nby source tier (exclusive):\n")
+		for _, r := range proc.BySource {
+			tw.printf("  %-10s %4d spans  excl %s  %s\n",
+				r.Key, r.Spans, secs(r.ExclNS), pct(r.PctBP))
+		}
+	}
+	if len(proc.ByLevel) > 0 {
+		tw.printf("\nby tree level (batch spans, inclusive):\n")
+		for _, l := range proc.ByLevel {
+			tw.printf("  level %-3d %3d batches  %s .. %s  incl %s%s\n",
+				l.Level, l.Batches, secs(l.StartNS), secs(l.EndNS), secs(l.InclNS),
+				topCounters(&l.vec, 3))
+		}
+	}
+	if len(proc.Forks) > 0 {
+		tw.printf("\nfork/join barriers (lane busy time and join slack):\n")
+		for _, g := range proc.Forks {
+			tw.printf("  span %d %s/%s", g.Parent, g.ParentCat, g.ParentName)
+			if g.Source != "" {
+				tw.printf(" [%s]", g.Source)
+			}
+			if g.Batch > 0 {
+				tw.printf(" batch %d", g.Batch)
+			}
+			tw.printf(": %d lanes, fork %s, barrier %s, critical %q, total slack %s\n",
+				len(g.Lanes), secs(g.ForkNS), secs(g.BarrierNS), g.CriticalLane, secs(g.TotalSlackNS))
+			for _, lc := range g.Lanes {
+				marker := " "
+				if lc.Track == g.CriticalLane {
+					marker = "*"
+				}
+				tw.printf("    %s %-8s busy %s  slack %s", marker, lc.Track, secs(lc.BusyNS), secs(lc.SlackNS))
+				if lc.Rows > 0 {
+					tw.printf("  rows %d", lc.Rows)
+				}
+				tw.printf("\n")
+			}
+		}
+	}
+	if proc.Skew != nil {
+		s := proc.Skew
+		tw.printf("\nskew diagnosis: ")
+		if s.Batch > 0 {
+			tw.printf("batch %d ", s.Batch)
+		}
+		if s.Source != "" {
+			tw.printf("[%s] ", s.Source)
+		}
+		tw.printf("%s span %d loses the most to lane imbalance: critical lane %q busy %s, total join slack %s (%s of build)\n",
+			s.ParentCat, s.Parent, s.CriticalLane, secs(s.BusyNS), secs(s.TotalSlackNS), pct(s.PctBP))
+	}
+	if len(proc.Counters) > 0 {
+		tw.printf("\ncounters (build totals):\n")
+		keys := make([]string, 0, len(proc.Counters))
+		//repolint:ordered collect-then-sort
+		for k := range proc.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			tw.printf("  %-22s %d\n", k, proc.Counters[k])
+		}
+	}
+}
+
+func writeNodeText(tw *errWriter, proc *Proc, n *Node, depth int) {
+	marker := " "
+	if n.Critical {
+		marker = "*"
+	}
+	label := n.Cat + "/" + n.Name
+	if n.Source != "" {
+		label += " [" + n.Source + "]"
+	}
+	if n.Track != "" {
+		label += " (" + n.Track + ")"
+	}
+	if n.Part != "" {
+		label += " part=" + n.Part
+	}
+	if n.Rows > 0 {
+		label += fmt.Sprintf(" rows=%d", n.Rows)
+	}
+	if lvl := attrInt(n, "level", -1); n.Cat == obs.CatBatch && lvl >= 0 {
+		label += fmt.Sprintf(" level=%d", lvl)
+	}
+	indent := strings.Repeat("  ", depth)
+	pad := 56 - len(indent) - len(label)
+	if pad < 1 {
+		pad = 1
+	}
+	tw.printf("%s %s%s%s incl %s  excl %s  %6s%s\n",
+		marker, indent, label, strings.Repeat(" ", pad),
+		secs(n.InclNS), secs(n.ExclNS), pct(n.PctBP), topCounters(&n.exclVec, 3))
+	for _, k := range n.Children {
+		writeNodeText(tw, proc, k, depth+1)
+	}
+}
+
+// topCounters renders the k largest (by absolute value) non-zero counters of
+// a vector as "  {name=v name=v}", or "" when the vector is zero. Ordering is
+// by descending absolute value, then counter declaration order.
+func topCounters(v *sim.CounterVec, k int) string {
+	type kv struct {
+		c sim.Counter
+		n int64
+	}
+	var all []kv
+	v.EachNonZero(func(c sim.Counter, n int64) {
+		all = append(all, kv{c, n})
+	})
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return abs64(all[i].n) > abs64(all[j].n) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	var b strings.Builder
+	b.WriteString("  {")
+	for i, e := range all {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", e.c, e.n)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// errWriter accumulates the first write error so the renderers stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

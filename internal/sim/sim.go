@@ -342,6 +342,68 @@ func (m *Meter) CountersSince(s Snapshot) map[Counter]int64 {
 	return out
 }
 
+// CounterVec is a dense copy of every counter value, indexed by Counter in
+// declaration order. It is the allocation-light companion of Snapshot for
+// span-boundary captures (internal/obs): copying the array is one memmove,
+// no map, so tracing can snapshot counters at every span start and end
+// without perturbing the simulation or the garbage collector.
+type CounterVec [numCounters]int64
+
+// CounterVec returns the current value of every counter as a dense vector.
+func (m *Meter) CounterVec() CounterVec { return m.counts }
+
+// Delta returns v - base, elementwise: the counter movement between two
+// boundary captures.
+func (v CounterVec) Delta(base CounterVec) CounterVec {
+	for i := range v {
+		v[i] -= base[i]
+	}
+	return v
+}
+
+// Sub subtracts o from v in place (used to turn inclusive counter deltas
+// into exclusive ones by removing child-span contributions).
+func (v *CounterVec) Sub(o *CounterVec) {
+	for i := range v {
+		v[i] -= o[i]
+	}
+}
+
+// Add accumulates o into v in place.
+func (v *CounterVec) Add(o *CounterVec) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Get returns the vector's value for counter c (0 when out of range).
+func (v *CounterVec) Get(c Counter) int64 {
+	if c < 0 || c >= numCounters {
+		return 0
+	}
+	return v[c]
+}
+
+// IsZero reports whether every counter in the vector is zero.
+func (v *CounterVec) IsZero() bool {
+	for _, n := range v {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EachNonZero calls fn for every non-zero counter in declaration order —
+// deterministic by construction, unlike ranging over a map snapshot.
+func (v *CounterVec) EachNonZero(fn func(c Counter, n int64)) {
+	for i, n := range v {
+		if n != 0 {
+			fn(Counter(i), n)
+		}
+	}
+}
+
 // String renders the non-zero counters, sorted by name, plus the clock.
 func (m *Meter) String() string {
 	var b strings.Builder

@@ -38,4 +38,10 @@ gate "experiments -run skew -check" go run ./cmd/experiments -run skew -scale 0.
 # skipping), fewer everywhere (dictionary packing), never be slower, and
 # count identically.
 gate "experiments -run columnar -check" go run ./cmd/experiments -run columnar -scale 0.25 -check
+# Quarter-scale perf-regression gate: profiles the fixed scenario set on the
+# virtual clock and compares each condensed metric against the committed
+# baseline in BENCH_history.json within a 10% tolerance band. Virtual time is
+# noise-free, so a failure means a code change actually moved simulated cost;
+# if the move is intended, re-baseline with `go run ./cmd/perfgate -update`.
+gate "perfgate -scale 0.25" go run ./cmd/perfgate -history BENCH_history.json -scale 0.25
 echo "verify: all green"
