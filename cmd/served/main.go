@@ -1,0 +1,143 @@
+// Command served is the network daemon over the embedded SQL engine and the
+// classification middleware: it preloads one dataset into table "cases" and
+// serves the wire protocol of internal/wire on a TCP address. Clients — the
+// ccsql database/sql driver, or anything speaking the protocol — submit
+// plain SQL statements, or the daemon's BUILD TREE command:
+//
+//	BUILD TREE [MAXDEPTH n] [MINROWS n] [OUTPUT STATS|TREE|TRACE]
+//
+// Builds submitted by concurrent clients run as one multi-tenant fleet
+// cohort: the memory budget splits fairly across them and, with
+// -scan-sharing (the default), their table scans share physical page reads.
+// SIGTERM or SIGINT drains gracefully: in-flight statements complete and
+// flush before the process exits.
+//
+// Example:
+//
+//	$ served -gen census -rows 20000 -addr 127.0.0.1:7744 &
+//	$ # any database/sql client: sql.Open("ccsql", "127.0.0.1:7744")
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/mw"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "served: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("served", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", "127.0.0.1:7744", "TCP listen address")
+	csvPath := fs.String("csv", "", "preload this CSV into table 'cases'")
+	gen := fs.String("gen", "census", "preload a generated dataset: tree, gaussians or census")
+	rows := fs.Int("rows", 20000, "rows for -gen")
+	seed := fs.Int64("seed", 1, "seed for -gen")
+	workers := fs.Int("workers", 1, "parallel scan workers per session")
+	memory := fs.Int64("memory", 0, "total middleware memory budget in bytes, split across sessions (0 = unlimited)")
+	maxSessions := fs.Int("max-sessions", 8, "concurrent build sessions; arrivals beyond the cap wait (0 = unlimited)")
+	scanSharing := fs.Bool("scan-sharing", true, "share physical table scans across concurrent builds")
+	meanGap := fs.Int64("mean-gap-ns", 0, "mean virtual inter-arrival gap of a build cohort (0 = simultaneous)")
+	arrivalSeed := fs.Int64("arrival-seed", 1, "seed for the virtual arrival schedule")
+	stageDir := fs.String("dir", "", "directory for middleware staging files (default: OS temp dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, err := load(*csvPath, *gen, *rows, *seed)
+	if err != nil {
+		return err
+	}
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+	srv, err := engine.NewServer(eng, "cases", ds)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.DaemonConfig{
+		Fleet: serve.FleetConfig{
+			Base: mw.Config{
+				Staging: mw.StageFileAndMemory,
+				Workers: *workers,
+				Dir:     *stageDir,
+			},
+			TotalMemory: *memory,
+			MaxSessions: *maxSessions,
+			ScanSharing: *scanSharing,
+		},
+		Seed:      *arrivalSeed,
+		MeanGapNS: *meanGap,
+	}
+	d := serve.NewDaemon(srv, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("served: listening on %s (table cases, %d rows: %s)\n", ln.Addr(), ds.N(), ds.Schema)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		fmt.Println("served: draining")
+		d.Drain(ln)
+		<-errCh
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}
+
+// load builds the preloaded dataset from -csv or -gen, mirroring sqlsh.
+func load(csvPath, gen string, rows int, seed int64) (*data.Dataset, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return data.ReadCSV(f)
+	}
+	switch gen {
+	case "tree":
+		cfg := datagen.TreeGenConfig{Seed: seed}.Normalize()
+		cfg.CasesPerLeaf = rows / cfg.Leaves
+		if cfg.CasesPerLeaf < 1 {
+			cfg.CasesPerLeaf = 1
+		}
+		ds, _, err := datagen.GenerateTreeData(cfg)
+		return ds, err
+	case "gaussians":
+		cfg := datagen.GaussianConfig{Seed: seed}.Normalize()
+		cfg.PerClass = rows / cfg.Components
+		if cfg.PerClass < 1 {
+			cfg.PerClass = 1
+		}
+		return datagen.GenerateGaussians(cfg)
+	case "census":
+		cfg := datagen.CensusConfig{Seed: seed, Rows: rows}.Normalize()
+		return datagen.GenerateCensus(cfg)
+	}
+	return nil, fmt.Errorf("unknown -gen %q (want tree, gaussians or census)", gen)
+}

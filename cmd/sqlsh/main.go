@@ -5,7 +5,9 @@
 //
 // With -csv or -gen a dataset is preloaded into table "cases". Statements
 // are terminated by newline; the shell prints the result set plus the
-// simulated cost of each statement.
+// simulated cost of each statement. Query errors go to stderr and make the
+// exit status nonzero; -e aborts on the first error instead of continuing
+// (the scripting default is to keep going, like psql without ON_ERROR_STOP).
 //
 // Example session:
 //
@@ -16,8 +18,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,18 +32,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errStatementFailed) {
+			fmt.Fprintf(os.Stderr, "sqlsh: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	csvPath := flag.String("csv", "", "preload this CSV into table 'cases'")
-	gen := flag.String("gen", "", "preload a generated dataset: tree, gaussians or census")
-	rows := flag.Int("rows", 5000, "rows for -gen")
-	seed := flag.Int64("seed", 1, "seed for -gen")
-	flag.Parse()
+// errStatementFailed marks "one or more statements errored": the failures
+// were already reported to stderr as they happened, so main only sets the
+// exit status.
+var errStatementFailed = errors.New("statement failed")
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sqlsh", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csvPath := fs.String("csv", "", "preload this CSV into table 'cases'")
+	gen := fs.String("gen", "", "preload a generated dataset: tree, gaussians or census")
+	rows := fs.Int("rows", 5000, "rows for -gen")
+	seed := fs.Int64("seed", 1, "seed for -gen")
+	abort := fs.Bool("e", false, "abort on the first statement error instead of continuing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	meter := sim.NewDefaultMeter()
 	eng := engine.New(meter, 0)
@@ -52,39 +68,54 @@ func run() error {
 		if _, err := engine.NewServer(eng, "cases", ds); err != nil {
 			return err
 		}
-		fmt.Printf("loaded %d rows into table cases: %s\n", ds.N(), ds.Schema)
+		fmt.Fprintf(stdout, "loaded %d rows into table cases: %s\n", ds.N(), ds.Schema)
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
+	failed := false
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Print("sql> ")
+	fmt.Fprint(stdout, "sql> ")
 	for sc.Scan() {
 		stmt := strings.TrimSpace(sc.Text())
 		switch {
 		case stmt == "":
 		case stmt == "\\q" || stmt == "exit" || stmt == "quit":
-			return nil
+			return exitStatus(failed)
 		case stmt == "\\d":
 			for _, n := range eng.TableNames() {
 				t, _ := eng.Table(n)
-				fmt.Printf("%s (%s): %d rows, %d pages\n", n, strings.Join(t.Cols, ", "), t.NumRows(), t.NumPages())
+				fmt.Fprintf(stdout, "%s (%s): %d rows, %d pages\n", n, strings.Join(t.Cols, ", "), t.NumRows(), t.NumPages())
 			}
 		default:
 			before := meter.Snapshot()
 			rs, err := eng.Exec(stmt)
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintf(stderr, "sqlsh: error: %v\n", err)
+				failed = true
+				if *abort {
+					return errStatementFailed
+				}
 			} else {
 				if rs != nil {
-					fmt.Print(rs)
-					fmt.Printf("(%d rows) ", len(rs.Rows))
+					fmt.Fprint(stdout, rs)
+					fmt.Fprintf(stdout, "(%d rows) ", len(rs.Rows))
 				}
-				fmt.Printf("simulated cost: %v\n", meter.Since(before))
+				fmt.Fprintf(stdout, "simulated cost: %v\n", meter.Since(before))
 			}
 		}
-		fmt.Print("sql> ")
+		fmt.Fprint(stdout, "sql> ")
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return exitStatus(failed)
+}
+
+func exitStatus(failed bool) error {
+	if failed {
+		return errStatementFailed
+	}
+	return nil
 }
 
 func load(csvPath, gen string, rows int, seed int64) (*data.Dataset, error) {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Script mode: a failing statement mid-script must be reported on stderr,
+// later statements must still run by default, and the exit status (the
+// returned error) must be nonzero.
+func TestScriptErrorContinuesAndFailsExit(t *testing.T) {
+	script := strings.Join([]string{
+		"SELECT FROM nonsense",
+		"SELECT income, COUNT(*) FROM cases GROUP BY income",
+	}, "\n")
+	var out, errBuf strings.Builder
+	err := run([]string{"-gen", "census", "-rows", "200"}, strings.NewReader(script), &out, &errBuf)
+	if !errors.Is(err, errStatementFailed) {
+		t.Fatalf("run returned %v, want errStatementFailed", err)
+	}
+	if !strings.Contains(errBuf.String(), "sqlsh: error:") {
+		t.Fatalf("stderr missing error report: %q", errBuf.String())
+	}
+	if strings.Contains(out.String(), "error:") {
+		t.Fatalf("error leaked to stdout: %q", out.String())
+	}
+	// The second statement ran: its result and cost line are on stdout.
+	if !strings.Contains(out.String(), "simulated cost:") {
+		t.Fatalf("statement after the error did not run: %q", out.String())
+	}
+}
+
+// -e aborts at the first error: the following statement must not execute.
+func TestScriptAbortFlag(t *testing.T) {
+	script := strings.Join([]string{
+		"SELECT FROM nonsense",
+		"SELECT income, COUNT(*) FROM cases GROUP BY income",
+	}, "\n")
+	var out, errBuf strings.Builder
+	err := run([]string{"-gen", "census", "-rows", "200", "-e"}, strings.NewReader(script), &out, &errBuf)
+	if !errors.Is(err, errStatementFailed) {
+		t.Fatalf("run returned %v, want errStatementFailed", err)
+	}
+	if strings.Contains(out.String(), "simulated cost:") {
+		t.Fatalf("statement after the error ran under -e: %q", out.String())
+	}
+}
+
+// A clean script exits 0 and prints results.
+func TestScriptCleanExit(t *testing.T) {
+	script := "SELECT income, COUNT(*) FROM cases GROUP BY income\n\\q\n"
+	var out, errBuf strings.Builder
+	if err := run([]string{"-gen", "census", "-rows", "200"}, strings.NewReader(script), &out, &errBuf); err != nil {
+		t.Fatalf("clean script returned %v; stderr=%q", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "simulated cost:") {
+		t.Fatalf("no result output: %q", out.String())
+	}
+	if errBuf.Len() != 0 {
+		t.Fatalf("stderr not empty: %q", errBuf.String())
+	}
+}

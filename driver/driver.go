@@ -1,0 +1,207 @@
+// Package ccsql is a database/sql driver for the cmd/served wire protocol:
+// register-on-import in the stdlib manner, so
+//
+//	import _ "repro/driver"
+//	db, _ := sql.Open("ccsql", "127.0.0.1:7744")
+//	rows, _ := db.Query("SELECT class, COUNT(*) FROM census GROUP BY class")
+//
+// works with stock database/sql. The DSN is the daemon's TCP address. The
+// driver speaks plain statements only (no placeholder parameters, no
+// transactions — the served engine is read-mostly and autocommit), and
+// streams result rows batch by batch, so large result sets never fully
+// buffer on the client.
+package ccsql
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/wire"
+)
+
+func init() {
+	sql.Register("ccsql", &Driver{})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open dials the daemon and performs the protocol handshake.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	nc, err := net.Dial("tcp", dsn)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(nc, wire.THello, wire.Hello{Version: wire.Version}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	var ack wire.HelloAck
+	if err := wire.Expect(nc, wire.THelloAck, &ack); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ccsql: handshake: %w", err)
+	}
+	return &Conn{nc: nc, ack: ack}, nil
+}
+
+// Conn is one protocol connection. database/sql guarantees single-goroutine
+// use.
+type Conn struct {
+	nc     net.Conn
+	ack    wire.HelloAck
+	inRows bool // a Rows result stream is still draining
+}
+
+// Table returns the served table's name, from the handshake.
+func (c *Conn) Table() string { return c.ack.Table }
+
+// Prepare returns a statement handle; the protocol has no server-side
+// prepare, so this is client-side bookkeeping only.
+func (c *Conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c, query: query}, nil
+}
+
+// Close sends an orderly goodbye and closes the connection.
+func (c *Conn) Close() error {
+	wire.WriteFrame(c.nc, wire.TGoodbye, nil)
+	return c.nc.Close()
+}
+
+// Begin is unsupported: the served engine is autocommit.
+func (c *Conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("ccsql: transactions are not supported")
+}
+
+// stmt is a prepared statement handle.
+type stmt struct {
+	c     *Conn
+	query string
+}
+
+// Close releases the handle (nothing is held server-side).
+func (s *stmt) Close() error { return nil }
+
+// NumInput returns 0: the protocol has no placeholder parameters, so any
+// bound argument is rejected by database/sql before reaching the wire.
+func (s *stmt) NumInput() int { return 0 }
+
+// Exec runs the statement and drains its result stream.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	r, err := s.Query(args)
+	if err != nil {
+		return nil, err
+	}
+	rows := r.(*rows)
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// Query runs the statement and returns its streaming result rows.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, errors.New("ccsql: placeholder parameters are not supported")
+	}
+	if s.c.inRows {
+		return nil, errors.New("ccsql: connection busy with an open result set")
+	}
+	if err := wire.WriteFrame(s.c.nc, wire.TQuery, wire.Query{SQL: s.query}); err != nil {
+		return nil, err
+	}
+	var hdr wire.ResultHeader
+	if err := wire.Expect(s.c.nc, wire.TResultHeader, &hdr); err != nil {
+		return nil, err
+	}
+	s.c.inRows = true
+	return &rows{c: s.c, cols: hdr.Cols}, nil
+}
+
+// rows streams one statement's result set.
+type rows struct {
+	c     *Conn
+	cols  []string
+	batch [][]wire.Cell
+	i     int
+	done  bool
+}
+
+// Columns returns the result's column names.
+func (r *rows) Columns() []string { return r.cols }
+
+// Close drains any frames the caller has not consumed, so the connection is
+// immediately reusable for the next statement.
+func (r *rows) Close() error {
+	for !r.done {
+		if err := r.fetch(); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	r.c.inRows = false
+	return nil
+}
+
+// fetch reads the next frame of the stream into the batch buffer.
+func (r *rows) fetch() error {
+	t, payload, err := wire.ReadFrame(r.c.nc)
+	if err != nil {
+		r.done = true
+		return err
+	}
+	switch t {
+	case wire.TRowBatch:
+		var b wire.RowBatch
+		if err := wire.Unmarshal(payload, &b); err != nil {
+			r.done = true
+			return err
+		}
+		r.batch, r.i = b.Rows, 0
+		return nil
+	case wire.TDone:
+		r.done = true
+		return io.EOF
+	case wire.TError:
+		r.done = true
+		var e wire.Error
+		if err := wire.Unmarshal(payload, &e); err != nil {
+			return err
+		}
+		return errors.New(e.Msg)
+	default:
+		r.done = true
+		return fmt.Errorf("ccsql: unexpected %s frame in result stream", t)
+	}
+}
+
+// Next fills dest with the next row, or returns io.EOF at stream end.
+func (r *rows) Next(dest []driver.Value) error {
+	for r.i >= len(r.batch) {
+		if r.done {
+			r.c.inRows = false
+			return io.EOF
+		}
+		if err := r.fetch(); err != nil {
+			if err == io.EOF {
+				r.c.inRows = false
+			}
+			return err
+		}
+	}
+	row := r.batch[r.i]
+	r.i++
+	if len(row) != len(dest) {
+		return fmt.Errorf("ccsql: row has %d values, want %d", len(row), len(dest))
+	}
+	for i, cell := range row {
+		if cell.Str {
+			dest[i] = cell.S
+		} else {
+			dest[i] = cell.I
+		}
+	}
+	return nil
+}

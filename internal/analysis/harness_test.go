@@ -142,7 +142,7 @@ func TestPassingCases(t *testing.T) {
 			}
 		}
 	}
-	for _, base := range []string{"determinism", "spanend", "forkjoin", "closer", "noreentrancy", "pr3scan", "pr3staging", "skewstats", "coldict", "profsnap"} {
+	for _, base := range []string{"determinism", "spanend", "forkjoin", "closer", "noreentrancy", "pr3scan", "pr3staging", "skewstats", "coldict", "profsnap", "servewire"} {
 		if passing[base] == 0 {
 			t.Errorf("case package %s has no passing (Ok*/Fixed*/Good*/Free*) function", base)
 		}
@@ -200,6 +200,27 @@ func TestProfSnapShapeCaught(t *testing.T) {
 	}
 	if counts["determinism"] < 1 {
 		t.Errorf("determinism missed the delta-map iteration (got %d diagnostics)", counts["determinism"])
+	}
+}
+
+// TestServeWireShapeCaught is the white-box regression for the serving
+// layer's release obligations: a fleet session leaked on the admission error
+// path and a driver connection leaked on the handshake error path must trip
+// closer, and the shared-batch span leaked on a scheduling failure must trip
+// spanend.
+func TestServeWireShapeCaught(t *testing.T) {
+	_, diags := loadLintdata(t)
+	counts := map[string]int{}
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "servewire") {
+			counts[d.Analyzer]++
+		}
+	}
+	if counts["closer"] < 2 {
+		t.Errorf("closer missed the Session.Close/Conn.Close leak shapes (got %d diagnostics, want 2)", counts["closer"])
+	}
+	if counts["spanend"] < 1 {
+		t.Errorf("spanend missed the leaked shared-batch span (got %d diagnostics)", counts["spanend"])
 	}
 }
 

@@ -1,0 +1,125 @@
+// Package servewire holds the serving-layer shapes that arrived with the
+// wire daemon: fleet sessions (Close releases middleware staging) and driver
+// connections (Close sends the goodbye frame and closes the socket) carry
+// release obligations the closer analyzer enforces, and the shared-batch
+// span must end on the error path like any other span.
+package servewire
+
+import (
+	"errors"
+
+	"lintdata/obs"
+)
+
+var errAdmit = errors.New("admission failed")
+
+// Session mirrors serve.Session: staging files released by Close.
+type Session struct{ open bool }
+
+func NewSession() (*Session, error) { return &Session{open: true}, nil }
+
+func (s *Session) Step() error { return nil }
+
+func (s *Session) Close() { s.open = false }
+
+// Conn mirrors the ccsql driver connection: a dialed socket plus handshake.
+type Conn struct{ ok bool }
+
+func OpenConn() (*Conn, error) { return &Conn{ok: true}, nil }
+
+func (c *Conn) Handshake() error { return nil }
+
+func (c *Conn) Query(stmt string) error { return nil }
+
+func (c *Conn) Close() error { c.ok = false; return nil }
+
+// BadSessionLeak is the fleet admission shape done wrong: the builder
+// failing after the middleware opened leaves the session's staging files on
+// disk until process exit.
+func BadSessionLeak(fail bool) error {
+	s, err := NewSession() // want `resource Session "s" is not released`
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errAdmit // leaks the session's staging
+	}
+	s.Close()
+	return nil
+}
+
+// BadConnLeak is the driver shape done wrong: a handshake or statement
+// failure returns without closing the dialed socket.
+func BadConnLeak(stmt string) error {
+	c, err := OpenConn() // want `resource Conn "c" is not released`
+	if err != nil {
+		return err
+	}
+	if err := c.Handshake(); err != nil {
+		return err // leaks the socket
+	}
+	return c.Query(stmt)
+}
+
+// BadSharedBatchSpan leaks the shared batch span when scheduling fails.
+func BadSharedBatchSpan(tr *obs.Tracer, fail bool) error {
+	bsp := tr.Start("batch", "shared-batch") // want `obs span "bsp" is not Ended on every path`
+	if fail {
+		return errAdmit
+	}
+	bsp.End()
+	return nil
+}
+
+// OkSessionDefer is the fleet error-path contract: Close is deferred until
+// the session's builder takes over.
+func OkSessionDefer(fail bool) error {
+	s, err := NewSession()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if fail {
+		return errAdmit
+	}
+	return s.Step()
+}
+
+// OkConnHandshake is the fixed driver Open: the socket closes on the
+// handshake error path and transfers to the caller on success.
+func OkConnHandshake() (*Conn, error) {
+	c, err := OpenConn()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Handshake(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil // ownership moves to database/sql
+}
+
+// OkSharedBatchSpan ends the span on both the error and success paths, the
+// shape mw.SharedBatch.Finish/Abort implement.
+func OkSharedBatchSpan(tr *obs.Tracer, fail bool) error {
+	bsp := tr.Start("batch", "shared-batch")
+	if fail {
+		bsp.End()
+		return errAdmit
+	}
+	bsp.SetRows(1).End()
+	return nil
+}
+
+type fleet struct{ sessions []*Session }
+
+// OkFleetTransfer admits a session into the fleet: the fleet's retire loop
+// owns the Close from here.
+func OkFleetTransfer(f *fleet) error {
+	s, err := NewSession()
+	if err != nil {
+		return err
+	}
+	f.sessions = append(f.sessions, s)
+	return nil
+}

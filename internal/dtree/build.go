@@ -1,13 +1,11 @@
 package dtree
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/cc"
 	"repro/internal/data"
 	"repro/internal/mw"
-	"repro/internal/obs"
 	"repro/internal/predicate"
 )
 
@@ -17,152 +15,25 @@ import (
 // nodes, repeat until no active nodes remain. Children that already satisfy
 // a termination criterion (their class histogram is known exactly from the
 // parent's CC table) become leaves immediately and are never requested.
+// Build is the single-session loop over Builder; the multi-tenant fleet
+// drives the same Builder with an external scheduler.
 func Build(m *mw.Middleware, opt Options) (*Tree, error) {
-	schema := m.Schema()
-	classCard := schema.Class.Card
-	classIdx := schema.ClassIndex()
-
-	// Client-side spans: one for the whole build, plus one per tree level on
-	// a separate render track. Levels overlap in virtual time (children are
-	// enqueued before their parent closes), so each level span ends at the
-	// time its last node closed, fixed up when the build finishes. All of it
-	// is skipped — at zero cost — when no tracer is attached.
-	tr := m.Tracer()
-	bsp := tr.Start(obs.CatBuild, "dtree-build")
-	defer bsp.End()
-	type levelSpan struct {
-		sp     *obs.Span
-		lastNS int64
-	}
-	var ltr *obs.Tracer
-	var levels map[int]*levelSpan
-	if tr != nil {
-		ltr = tr.Track("levels")
-		levels = map[int]*levelSpan{}
-		defer func() {
-			depths := make([]int, 0, len(levels))
-			for d := range levels {
-				depths = append(depths, d)
-			}
-			sort.Ints(depths)
-			for _, d := range depths {
-				l := levels[d]
-				if l.lastNS > 0 {
-					l.sp.EndAt(l.lastNS)
-				} else {
-					l.sp.End()
-				}
-			}
-		}()
-	}
-	noteEnqueue := func(depth int) {
-		if ltr == nil {
-			return
-		}
-		if _, ok := levels[depth]; !ok {
-			sp := ltr.Start(obs.CatLevel, fmt.Sprintf("level %d", depth)).Attr("depth", int64(depth))
-			levels[depth] = &levelSpan{sp: sp}
-		}
-	}
-	noteClose := func(depth int) {
-		if ltr == nil {
-			return
-		}
-		if l, ok := levels[depth]; ok {
-			l.lastNS = int64(m.Meter().Now())
-			// The span is closed retroactively (EndAt at build finish), so
-			// capture its counter deltas now, while the meter still reads the
-			// state at this — possibly final — node close of the level.
-			l.sp.CaptureCounters()
-		}
-	}
-
-	rootAttrs := allAttrs(schema)
-	root := &Node{ID: 0, Attrs: rootAttrs, Rows: m.DataRows(), Depth: 0}
-	nodes := map[int]*Node{0: root}
-	nextID := 1
-
-	// The root's CC size estimate comes from the schema (no parent exists):
-	// the sum of attribute cardinalities times the class cardinality.
-	var rootEst int64
-	for _, a := range schema.Attrs {
-		rootEst += int64(a.Card)
-	}
-	rootEst = rootEst*int64(classCard) + int64(classCard)
-	noteEnqueue(0)
-	if err := m.Enqueue(&mw.Request{
-		NodeID: 0, ParentID: -1, Path: nil,
-		Attrs: rootAttrs, Rows: root.Rows, EstCC: rootEst,
-	}); err != nil {
+	b, err := NewBuilder(m, opt)
+	if err != nil {
 		return nil, err
 	}
-
-	for m.Pending() > 0 {
+	for b.Pending() > 0 {
 		results, err := m.Step()
 		if err != nil {
+			b.Abort()
 			return nil, err
 		}
-		if len(results) == 0 {
-			return nil, fmt.Errorf("dtree: middleware made no progress with %d pending requests", m.Pending())
-		}
-		for _, res := range results {
-			n, ok := nodes[res.Req.NodeID]
-			if !ok {
-				return nil, fmt.Errorf("dtree: result for unknown node %d", res.Req.NodeID)
-			}
-			n.ClassCounts = classTotals(res.CC, classIdx, classCard)
-			n.Class, _ = majority(n.ClassCounts)
-
-			dec := decide(res.CC, n.Attrs, n.ClassCounts, n.Rows, n.Depth, opt)
-			if dec.leaf {
-				n.Leaf = true
-				m.CloseNode(n.ID)
-				noteClose(n.Depth)
-				continue
-			}
-			n.SplitAttr = dec.attr
-			n.SplitVal = dec.val
-			n.Multiway = len(dec.vals) > 0
-			n.SplitVals = dec.vals
-
-			for _, spec := range expand(res.CC, n, dec, classCard) {
-				child := &Node{
-					ID:          nextID,
-					Path:        n.Path.And(spec.cond),
-					Attrs:       spec.attrs,
-					Rows:        spec.rows,
-					Depth:       n.Depth + 1,
-					ClassCounts: spec.classCounts,
-				}
-				nextID++
-				child.Class, _ = majority(child.ClassCounts)
-				n.Children = append(n.Children, child)
-				nodes[child.ID] = child
-
-				// Terminal children never reach the middleware: their
-				// class histogram is already exact.
-				cdec := decide(nil, child.Attrs, child.ClassCounts, child.Rows, child.Depth, terminalProbe(opt))
-				if cdec.leaf {
-					child.Leaf = true
-					continue
-				}
-				est := cc.EstimateEntries(res.CC, child.Attrs, child.Rows, n.Rows, classCard)
-				noteEnqueue(child.Depth)
-				if err := m.Enqueue(&mw.Request{
-					NodeID: child.ID, ParentID: n.ID,
-					Path: child.Path, Attrs: child.Attrs,
-					Rows: child.Rows, EstCC: est,
-				}); err != nil {
-					return nil, err
-				}
-			}
-			// Children are enqueued before the parent closes so ancestor
-			// staging stays alive for them.
-			m.CloseNode(n.ID)
-			noteClose(n.Depth)
+		if err := b.Feed(results); err != nil {
+			b.Abort()
+			return nil, err
 		}
 	}
-	return finalize(&Tree{Root: root, Schema: schema}), nil
+	return b.Finish()
 }
 
 // terminalProbe restricts Options to the criteria decidable without a CC

@@ -1,0 +1,222 @@
+package dtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/mw"
+	"repro/internal/obs"
+)
+
+// Builder is the resumable form of Build: the same Figure 3 protocol, but
+// with the Step loop inverted so an external scheduler owns it. The
+// multi-tenant fleet drives many Builders over one engine — each session
+// feeds its own middleware's results in as they arrive (possibly produced by
+// a shared scan) and the Builder grows its tree incrementally. Build is a
+// thin wrapper, so the two paths execute identical span and enqueue
+// sequences and produce byte-identical trees and traces.
+type Builder struct {
+	m         *mw.Middleware
+	opt       Options
+	classCard int
+	classIdx  int
+
+	bsp    *obs.Span
+	ltr    *obs.Tracer
+	levels map[int]*levelSpan
+
+	root   *Node
+	nodes  map[int]*Node
+	nextID int
+	closed bool
+}
+
+type levelSpan struct {
+	sp     *obs.Span
+	lastNS int64
+}
+
+// NewBuilder opens the build (build span, level track) and enqueues the root
+// request. The caller must then repeatedly Feed the middleware's results
+// until Pending reaches zero, and Finish; Abort releases the spans on an
+// external error.
+func NewBuilder(m *mw.Middleware, opt Options) (*Builder, error) {
+	schema := m.Schema()
+	b := &Builder{
+		m:         m,
+		opt:       opt,
+		classCard: schema.Class.Card,
+		classIdx:  schema.ClassIndex(),
+		nextID:    1,
+	}
+
+	// Client-side spans: one for the whole build, plus one per tree level on
+	// a separate render track. Levels overlap in virtual time (children are
+	// enqueued before their parent closes), so each level span ends at the
+	// time its last node closed, fixed up when the build finishes. All of it
+	// is skipped — at zero cost — when no tracer is attached.
+	tr := m.Tracer()
+	b.bsp = tr.Start(obs.CatBuild, "dtree-build")
+	if tr != nil {
+		b.ltr = tr.Track("levels")
+		b.levels = map[int]*levelSpan{}
+	}
+
+	rootAttrs := allAttrs(schema)
+	b.root = &Node{ID: 0, Attrs: rootAttrs, Rows: m.DataRows(), Depth: 0}
+	b.nodes = map[int]*Node{0: b.root}
+
+	// The root's CC size estimate comes from the schema (no parent exists):
+	// the sum of attribute cardinalities times the class cardinality.
+	var rootEst int64
+	for _, a := range schema.Attrs {
+		rootEst += int64(a.Card)
+	}
+	rootEst = rootEst*int64(b.classCard) + int64(b.classCard)
+	b.noteEnqueue(0)
+	if err := m.Enqueue(&mw.Request{
+		NodeID: 0, ParentID: -1, Path: nil,
+		Attrs: rootAttrs, Rows: b.root.Rows, EstCC: rootEst,
+	}); err != nil {
+		b.closeSpans()
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *Builder) noteEnqueue(depth int) {
+	if b.ltr == nil {
+		return
+	}
+	if _, ok := b.levels[depth]; !ok {
+		sp := b.ltr.Start(obs.CatLevel, fmt.Sprintf("level %d", depth)).Attr("depth", int64(depth))
+		b.levels[depth] = &levelSpan{sp: sp}
+	}
+}
+
+func (b *Builder) noteClose(depth int) {
+	if b.ltr == nil {
+		return
+	}
+	if l, ok := b.levels[depth]; ok {
+		l.lastNS = int64(b.m.Meter().Now())
+		// The span is closed retroactively (EndAt at build finish), so
+		// capture its counter deltas now, while the meter still reads the
+		// state at this — possibly final — node close of the level.
+		l.sp.CaptureCounters()
+	}
+}
+
+// closeSpans ends the level spans (at their recorded last-close times) and
+// the build span, once.
+func (b *Builder) closeSpans() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	if b.levels != nil {
+		depths := make([]int, 0, len(b.levels))
+		for d := range b.levels {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		for _, d := range depths {
+			l := b.levels[d]
+			if l.lastNS > 0 {
+				l.sp.EndAt(l.lastNS)
+			} else {
+				l.sp.End()
+			}
+		}
+	}
+	b.bsp.End()
+}
+
+// Pending returns the number of outstanding middleware requests; the build
+// is complete when it reaches zero.
+func (b *Builder) Pending() int { return b.m.Pending() }
+
+// Feed consumes one Step's worth of middleware results: grows the tree at
+// each fulfilled node, enqueues the children that need counting, and closes
+// the fulfilled nodes. An empty result set with requests still pending is
+// the no-progress error, exactly as in Build's loop.
+func (b *Builder) Feed(results []*mw.Result) error {
+	if len(results) == 0 && b.m.Pending() > 0 {
+		err := fmt.Errorf("dtree: middleware made no progress with %d pending requests", b.m.Pending())
+		b.closeSpans()
+		return err
+	}
+	for _, res := range results {
+		n, ok := b.nodes[res.Req.NodeID]
+		if !ok {
+			b.closeSpans()
+			return fmt.Errorf("dtree: result for unknown node %d", res.Req.NodeID)
+		}
+		n.ClassCounts = classTotals(res.CC, b.classIdx, b.classCard)
+		n.Class, _ = majority(n.ClassCounts)
+
+		dec := decide(res.CC, n.Attrs, n.ClassCounts, n.Rows, n.Depth, b.opt)
+		if dec.leaf {
+			n.Leaf = true
+			b.m.CloseNode(n.ID)
+			b.noteClose(n.Depth)
+			continue
+		}
+		n.SplitAttr = dec.attr
+		n.SplitVal = dec.val
+		n.Multiway = len(dec.vals) > 0
+		n.SplitVals = dec.vals
+
+		for _, spec := range expand(res.CC, n, dec, b.classCard) {
+			child := &Node{
+				ID:          b.nextID,
+				Path:        n.Path.And(spec.cond),
+				Attrs:       spec.attrs,
+				Rows:        spec.rows,
+				Depth:       n.Depth + 1,
+				ClassCounts: spec.classCounts,
+			}
+			b.nextID++
+			child.Class, _ = majority(child.ClassCounts)
+			n.Children = append(n.Children, child)
+			b.nodes[child.ID] = child
+
+			// Terminal children never reach the middleware: their
+			// class histogram is already exact.
+			cdec := decide(nil, child.Attrs, child.ClassCounts, child.Rows, child.Depth, terminalProbe(b.opt))
+			if cdec.leaf {
+				child.Leaf = true
+				continue
+			}
+			est := cc.EstimateEntries(res.CC, child.Attrs, child.Rows, n.Rows, b.classCard)
+			b.noteEnqueue(child.Depth)
+			if err := b.m.Enqueue(&mw.Request{
+				NodeID: child.ID, ParentID: n.ID,
+				Path: child.Path, Attrs: child.Attrs,
+				Rows: child.Rows, EstCC: est,
+			}); err != nil {
+				b.closeSpans()
+				return err
+			}
+		}
+		// Children are enqueued before the parent closes so ancestor
+		// staging stays alive for them.
+		b.m.CloseNode(n.ID)
+		b.noteClose(n.Depth)
+	}
+	return nil
+}
+
+// Finish ends the build's spans and returns the completed tree.
+func (b *Builder) Finish() (*Tree, error) {
+	if b.m.Pending() > 0 {
+		return nil, fmt.Errorf("dtree: Finish with %d requests still pending", b.m.Pending())
+	}
+	b.closeSpans()
+	return finalize(&Tree{Root: b.root, Schema: b.m.Schema()}), nil
+}
+
+// Abort releases the build's spans without producing a tree; for callers
+// whose Step loop failed outside Feed.
+func (b *Builder) Abort() { b.closeSpans() }

@@ -1,0 +1,45 @@
+package dtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the tree in a canonical line-per-node text form: depth-first,
+// children in split order, every decision-relevant field spelled out. Two
+// trees produce the same dump iff they are structurally identical (same
+// splits, labels, counts, and node ids in build order), so the dump is the
+// byte-comparison currency of the daemon/in-process equivalence tests and
+// the wire format cmd/served streams a built tree in.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tree nodes=%d leaves=%d depth=%d class=%s\n",
+		t.NumNodes, t.NumLeaves, t.MaxDepth, t.Schema.Class.Name)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		b.WriteString(strings.Repeat("  ", n.Depth))
+		fmt.Fprintf(&b, "node %d rows=%d class=%d counts=%v", n.ID, n.Rows, n.Class, n.ClassCounts)
+		if n.Leaf {
+			b.WriteString(" leaf\n")
+			return
+		}
+		attr := t.Schema.ColName(n.SplitAttr)
+		if n.Multiway {
+			fmt.Fprintf(&b, " split %s in %v\n", attr, n.SplitVals)
+		} else {
+			fmt.Fprintf(&b, " split %s=%d\n", attr, n.SplitVal)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return b.String()
+}
+
+// DumpLines returns Dump split into lines, without the trailing empty line —
+// the row-per-line form the daemon streams.
+func (t *Tree) DumpLines() []string {
+	s := strings.TrimSuffix(t.Dump(), "\n")
+	return strings.Split(s, "\n")
+}

@@ -85,7 +85,7 @@ func (s *Server) OpenKeysetParallel(f predicate.Filter, nworkers int) *Keyset {
 	}
 	np := s.table.NumPages()
 	bounds := s.PageBounds(f, nworkers, 0)
-	tr := s.eng.tracer
+	tr := s.Tracer()
 	sp := tr.Start(obs.CatAux, "keyset-build").Attr("workers", int64(nworkers))
 	lanes := s.meter.Fork(nworkers)
 	ltrs := tr.ForkLanes(lanes)
@@ -132,7 +132,7 @@ func (s *Server) CopyTIDsParallel(f predicate.Filter, nworkers int) *TIDTable {
 	}
 	np := s.table.NumPages()
 	bounds := s.PageBounds(f, nworkers, s.meter.Costs().ServerRowWrite)
-	tr := s.eng.tracer
+	tr := s.Tracer()
 	sp := tr.Start(obs.CatAux, "tid-table-build").Attr("workers", int64(nworkers))
 	lanes := s.meter.Fork(nworkers)
 	ltrs := tr.ForkLanes(lanes)
@@ -187,7 +187,7 @@ func (s *Server) CopySubsetParallel(f predicate.Filter, nworkers int) (*Server, 
 	t.temp = true
 	np := s.table.NumPages()
 	bounds := s.PageBounds(f, nworkers, s.meter.Costs().ServerRowWrite)
-	tr := s.eng.tracer
+	tr := s.Tracer()
 	sp := tr.Start(obs.CatAux, "copy-subset").Attr("workers", int64(nworkers))
 	lanes := s.meter.Fork(nworkers)
 	ltrs := tr.ForkLanes(lanes)
@@ -222,7 +222,7 @@ func (s *Server) CopySubsetParallel(f predicate.Filter, nworkers int) (*Server, 
 		}
 	}
 	sp.SetRows(t.NumRows()).End()
-	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t, noHints: s.noHints}, nil
+	return &Server{eng: s.eng, meter: s.meter, tracer: s.tracer, schema: s.schema, table: t, noHints: s.noHints}, nil
 }
 
 // OpenScanPartition re-scans one contiguous partition of the keyset:

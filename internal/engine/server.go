@@ -17,6 +17,7 @@ import (
 type Server struct {
 	eng     *Engine
 	meter   *sim.Meter
+	tracer  *obs.Tracer // per-view override; nil inherits the engine tracer
 	schema  *data.Schema
 	table   *Table
 	noHints bool // disable histogram-guided partition bounds (ablation)
@@ -55,8 +56,28 @@ func (s *Server) SplitHints() bool { return !s.noHints }
 // Meter returns the server's meter.
 func (s *Server) Meter() *sim.Meter { return s.meter }
 
-// Tracer returns the engine's observability tracer (nil when disabled).
-func (s *Server) Tracer() *obs.Tracer { return s.eng.tracer }
+// Tracer returns the observability tracer every server-side span is opened
+// on: the view's own tracer when set, the engine's otherwise (nil when
+// disabled).
+func (s *Server) Tracer() *obs.Tracer {
+	if s.tracer != nil {
+		return s.tracer
+	}
+	return s.eng.tracer
+}
+
+// View returns a session-scoped view of the server: same engine and table,
+// but every cursor cost is charged to the given meter and every span opened
+// on the given tracer. Views are how the multi-tenant scheduler gives each
+// concurrent build its own virtual clock and trace over one shared engine;
+// a nil tracer inherits the engine's. The view copies the split-hint flag,
+// so SetSplitHints on a view never leaks to other sessions.
+func (s *Server) View(meter *sim.Meter, tracer *obs.Tracer) *Server {
+	if meter == nil {
+		meter = s.meter
+	}
+	return &Server{eng: s.eng, meter: meter, tracer: tracer, schema: s.schema, table: s.table, noHints: s.noHints}
+}
 
 // Schema returns the classification schema of the data table.
 func (s *Server) Schema() *data.Schema { return s.schema }
@@ -101,7 +122,7 @@ type scanCursor struct {
 // down, charging the cursor-open cost.
 func (s *Server) OpenScan(f predicate.Filter) Cursor {
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
-	return &scanCursor{s: s, filter: f, sp: s.eng.tracer.Start(obs.CatCursor, "server-scan")}
+	return &scanCursor{s: s, filter: f, sp: s.Tracer().Start(obs.CatCursor, "server-scan")}
 }
 
 // finish closes the cursor span once, recording the rows transmitted.
@@ -289,7 +310,7 @@ type Keyset struct {
 // OpenKeyset runs the qualifying scan and captures the keyset. The scan
 // charges full sequential-scan costs but transmits nothing.
 func (s *Server) OpenKeyset(f predicate.Filter) *Keyset {
-	sp := s.eng.tracer.Start(obs.CatAux, "keyset-build")
+	sp := s.Tracer().Start(obs.CatAux, "keyset-build")
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
 	ks := &Keyset{s: s}
 	s.eng.scan(s.table, func(tid storage.TID, row data.Row) bool {
@@ -323,7 +344,7 @@ type keysetCursor struct {
 // stored procedure sproc.
 func (k *Keyset) OpenScan(sproc *predicate.Filter) Cursor {
 	k.s.meter.Charge(sim.CtrServerScans, k.s.meter.Costs().CursorOpen, 1)
-	return &keysetCursor{k: k, sproc: sproc, sp: k.s.eng.tracer.Start(obs.CatCursor, "keyset-scan")}
+	return &keysetCursor{k: k, sproc: sproc, sp: k.s.Tracer().Start(obs.CatCursor, "keyset-scan")}
 }
 
 func (c *keysetCursor) finish() {
@@ -378,7 +399,7 @@ func (s *Server) CopySubset(f predicate.Filter) (*Server, error) {
 		return nil, err
 	}
 	t.temp = true
-	sp := s.eng.tracer.Start(obs.CatAux, "copy-subset")
+	sp := s.Tracer().Start(obs.CatAux, "copy-subset")
 	defer func() { sp.SetRows(t.NumRows()).End() }()
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
 	costs := s.meter.Costs()
@@ -397,7 +418,7 @@ func (s *Server) CopySubset(f predicate.Filter) (*Server, error) {
 	if copyErr != nil {
 		return nil, copyErr
 	}
-	return &Server{eng: s.eng, meter: s.meter, schema: s.schema, table: t, noHints: s.noHints}, nil
+	return &Server{eng: s.eng, meter: s.meter, tracer: s.tracer, schema: s.schema, table: t, noHints: s.noHints}, nil
 }
 
 // Drop removes the server's table (used to free temp tables).
@@ -414,7 +435,7 @@ type TIDTable struct {
 // CopyTIDs captures the TIDs of rows satisfying f into a server-side TID
 // table: one qualifying scan plus one row-write per TID.
 func (s *Server) CopyTIDs(f predicate.Filter) *TIDTable {
-	sp := s.eng.tracer.Start(obs.CatAux, "tid-table-build")
+	sp := s.Tracer().Start(obs.CatAux, "tid-table-build")
 	s.meter.Charge(sim.CtrServerScans, s.meter.Costs().CursorOpen, 1)
 	tt := &TIDTable{s: s}
 	costs := s.meter.Costs()
@@ -447,7 +468,7 @@ type tidJoinCursor struct {
 // OpenJoin retrieves the subset via a TID join, applying filter server-side.
 func (t *TIDTable) OpenJoin(filter predicate.Filter) Cursor {
 	t.s.meter.Charge(sim.CtrServerScans, t.s.meter.Costs().CursorOpen, 1)
-	return &tidJoinCursor{t: t, filter: filter, sp: t.s.eng.tracer.Start(obs.CatCursor, "tid-join-scan")}
+	return &tidJoinCursor{t: t, filter: filter, sp: t.s.Tracer().Start(obs.CatCursor, "tid-join-scan")}
 }
 
 func (c *tidJoinCursor) finish() {

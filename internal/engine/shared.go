@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// This file is the server side of multi-tenant scan sharing: the paper's
+// batching idea (§4.1 — merge many nodes' counting work into one data scan)
+// lifted from nodes-within-a-build to builds-within-a-fleet. Concurrent
+// sessions whose current batch scans the same table attach a ScanConsumer
+// each to one physical columnar scan; the block stream is decoded once and
+// fanned out, so the page I/O is charged once (to the shared io meter) while
+// each consumer pays its own per-row evaluation and transmission on its own
+// session lane.
+
+// ScanConsumer is one session's attachment to a shared columnar scan.
+type ScanConsumer struct {
+	// Filter is the consumer's pushed-down batch filter; it is compiled per
+	// row group, so each consumer keeps its private zone-map skipping even
+	// inside a shared scan.
+	Filter predicate.Filter
+	// Lane receives the consumer's own costs: group/block counters, per-row
+	// evaluation and row transmission. Required.
+	Lane *sim.Meter
+	// Fn receives each block with Sel holding this consumer's matching rows.
+	// Returning false detaches the consumer: it sees no further blocks while
+	// the scan continues for the others.
+	Fn func(blk *ColBlock) bool
+
+	detached bool
+	gf       GroupFilter
+	sel      []int32
+}
+
+// ScanColumnarShared runs one physical columnar scan over all row groups and
+// fans every block out to the attached consumers. Shared costs go to io:
+// one cursor open for the whole cohort, and the column pages of each group
+// that at least one consumer needs — charged once, however many consumers
+// read the group. needCols lists the union of the columns any consumer
+// touches (nil means all). Per group, each consumer's filter is compiled
+// against the group's dictionaries; consumers whose filter cannot match skip
+// the group on their own lane (zone-map verdict) without forcing or joining
+// the read. Consumers are fed in slice order, so the interleaving is
+// deterministic. A single-consumer cohort degenerates to ScanColumnarRange's
+// cost model with the cursor open and page I/O moved to the io meter.
+func (s *Server) ScanColumnarShared(cons []*ScanConsumer, needCols []int, io *sim.Meter) {
+	cs := s.table.colstore
+	if cs == nil {
+		panic(fmt.Sprintf("engine: table %q has no columnar copy", s.table.Name))
+	}
+	if io == nil {
+		io = s.meter
+	}
+	for i, c := range cons {
+		if c.Lane == nil || c.Fn == nil {
+			panic(fmt.Sprintf("engine: shared-scan consumer %d missing lane or callback", i))
+		}
+		c.detached = false
+	}
+	costs := io.Costs()
+	io.Charge(sim.CtrServerScans, costs.CursorOpen, 1)
+	blk := &ColBlock{}
+	ng := cs.NumGroups()
+	for gi := 0; gi < ng; gi++ {
+		g := cs.Group(gi)
+		readers := 0
+		for _, c := range cons {
+			if c.detached {
+				continue
+			}
+			c.gf = CompileGroupFilter(g, c.Filter)
+			if c.gf.None() {
+				c.Lane.Charge(sim.CtrColGroupsSkipped, 0, 1)
+				continue
+			}
+			c.Lane.Charge(sim.CtrColGroupsScanned, 0, 1)
+			readers++
+		}
+		if readers == 0 {
+			continue // no consumer needs this group: no page is read
+		}
+		io.Charge(sim.CtrServerPages, costs.ServerPageIO, g.Pages(needCols))
+		nrows := g.NumRows()
+		for base := 0; base < nrows; base += BlockRows {
+			n := nrows - base
+			if n > BlockRows {
+				n = BlockRows
+			}
+			for _, c := range cons {
+				if c.detached || c.gf.None() {
+					continue
+				}
+				c.Lane.Charge(sim.CtrColBlocks, 0, 1)
+				c.Lane.Charge(sim.CtrServerRows, costs.ColRowEval, int64(n))
+				c.sel = c.gf.selectBlock(g, base, n, c.sel[:0])
+				c.Lane.Charge(sim.CtrRowsTransmitted, costs.ColRowTransmit, int64(len(c.sel)))
+				blk.Group, blk.GroupIndex, blk.Base, blk.N, blk.Sel = g, gi, base, n, c.sel
+				if !c.Fn(blk) {
+					c.detached = true
+				}
+			}
+		}
+	}
+}

@@ -269,6 +269,43 @@ var checks = map[string]func(*Experiment) error{
 		}
 		return nil
 	},
+	"serve": func(e *Experiment) error {
+		shared, solo := e.Series[0].Points, e.Series[1].Points
+		for i := range shared {
+			sp := shared[i].Counters["server_pages_total"]
+			np := solo[i].Counters["server_pages_total"]
+			if shared[i].X == 1 {
+				// A lone session has nobody to share with: identical cost.
+				if sp != np {
+					return fmt.Errorf("1 client: sharing-on read %d pages, off %d — must be identical", sp, np)
+				}
+				continue
+			}
+			// The headline claim: attaching concurrent scans to one cursor
+			// cuts the cohort's total modeled page I/O.
+			if sp >= np {
+				return fmt.Errorf("%g clients: sharing-on read %d pages, off %d — no sharing win",
+					shared[i].X, sp, np)
+			}
+			if shared[i].Counters["shared_io_pages"] == 0 {
+				return fmt.Errorf("%g clients: no pages charged to the shared scan", shared[i].X)
+			}
+			// Sharing must never slow the cohort down.
+			if shared[i].Seconds > solo[i].Seconds*1.001 {
+				return fmt.Errorf("%g clients: makespan %.3fs with sharing, %.3fs without",
+					shared[i].X, shared[i].Seconds, solo[i].Seconds)
+			}
+		}
+		// Per-session latency: sharing at worst matches running alone.
+		latShared, latSolo := e.Series[2].Points, e.Series[3].Points
+		for i := range latShared {
+			if latShared[i].Seconds > latSolo[i].Seconds*1.001 {
+				return fmt.Errorf("%g clients: mean latency %.3fs with sharing, %.3fs without",
+					latShared[i].X, latShared[i].Seconds, latSolo[i].Seconds)
+			}
+		}
+		return nil
+	},
 	"sensitivity": func(e *Experiment) error {
 		caching, none := e.Series[0].Points, e.Series[1].Points
 		for i := range caching {

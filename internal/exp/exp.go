@@ -265,6 +265,7 @@ func Runners() []Runner {
 		{"scaling", ScalingWorkers, "parallel scan pipeline speedup, workers 1-8"},
 		{"skew", SkewPartitioning, "histogram-guided vs equal-width splits on a clustered table"},
 		{"columnar", ColumnarStorage, "columnar row groups vs the row heap, uniform and clustered"},
+		{"serve", ServeFleet, "concurrent multi-tenant builds, scan sharing on/off"},
 	}
 }
 

@@ -199,11 +199,37 @@ func (h *PerfHistory) Append(scale float64, snaps []PerfSnapshot) {
 	h.Entries = append(h.Entries, PerfEntry{Seq: seq + 1, Scale: scale, Snapshots: snaps})
 }
 
+// Absolute allowances backing the relative tolerance band. A zero-valued
+// baseline metric (a counter the workload never hits, a category with no
+// exclusive time) admits no relative slack at all — base*(1+tol) is still
+// zero — so any nonzero current value would gate. Instead every metric gets
+// an absolute-delta floor: time-like metrics may drift by a virtual
+// millisecond, counts by a handful, before the relative band takes over.
+const (
+	perfAbsNSAllowance    = 1_000_000 // ns-valued metrics (total_ns, excl_ns/*)
+	perfAbsCountAllowance = 8         // count-valued metrics (spans, ctr/*)
+)
+
+// perfAllowance returns the gate allowance for one metric: the larger of the
+// relative band and the metric's absolute-delta floor.
+func perfAllowance(metric string, baseline int64, tol float64) int64 {
+	allow := int64(float64(baseline) * tol)
+	abs := int64(perfAbsCountAllowance)
+	if metric == "total_ns" || strings.HasPrefix(metric, "excl_ns/") {
+		abs = perfAbsNSAllowance
+	}
+	if allow < abs {
+		allow = abs
+	}
+	return allow
+}
+
 // ComparePerf checks the current snapshots against a baseline with a relative
 // tolerance band and returns one message per regression (empty = pass). A
-// scenario or metric present in the baseline but missing now, a metric grown
-// past base*(1+tol), and a metric that appeared where the baseline was zero
-// all count as regressions. Metrics the baseline does not know are ignored —
+// scenario or metric present in the baseline but missing now, or a metric
+// grown past base + max(base*tol, absolute floor), count as regressions; the
+// absolute floor makes zero baselines an absolute-delta comparison instead of
+// an unconditional failure. Metrics the baseline does not know are ignored —
 // adding instrumentation must not fail the gate until re-baselined.
 func ComparePerf(base, cur []PerfSnapshot, tol float64) []string {
 	curBy := map[string]PerfSnapshot{}
@@ -229,13 +255,7 @@ func ComparePerf(base, cur []PerfSnapshot, tol float64) []string {
 				msgs = append(msgs, fmt.Sprintf("%s: metric %s missing from current run (baseline %d)", b.Scenario, k, bv))
 				continue
 			}
-			if bv == 0 {
-				if cv > 0 {
-					msgs = append(msgs, fmt.Sprintf("%s: %s appeared: baseline 0, now %d", b.Scenario, k, cv))
-				}
-				continue
-			}
-			limit := bv + int64(float64(bv)*tol)
+			limit := bv + perfAllowance(k, bv, tol)
 			if cv > limit {
 				msgs = append(msgs, fmt.Sprintf("%s: %s regressed: baseline %d, now %d (limit %d at tol %g)",
 					b.Scenario, k, bv, cv, limit, tol))

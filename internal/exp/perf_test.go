@@ -64,19 +64,20 @@ func clonePerf(snaps []PerfSnapshot) []PerfSnapshot {
 
 func TestComparePerf(t *testing.T) {
 	base := []PerfSnapshot{
-		{Scenario: "a", Metrics: map[string]int64{"total_ns": 1000, "spans": 40, "zero": 0}},
-		{Scenario: "b", Metrics: map[string]int64{"total_ns": 500}},
+		{Scenario: "a", Metrics: map[string]int64{"total_ns": 1_000_000_000, "spans": 40, "zero": 0}},
+		{Scenario: "b", Metrics: map[string]int64{"total_ns": 500_000_000}},
 	}
 
 	if msgs := ComparePerf(base, clonePerf(base), 0.10); len(msgs) != 0 {
 		t.Errorf("identical run flagged: %v", msgs)
 	}
 
-	// Tolerance boundary at 10%: 1099 and the exact limit 1100 pass, 1101 fails.
+	// Tolerance boundary at 10%: values up to the exact limit pass, one past
+	// it fails.
 	for _, tc := range []struct {
 		v    int64
 		pass bool
-	}{{1099, true}, {1100, true}, {1101, false}} {
+	}{{1_099_000_000, true}, {1_100_000_000, true}, {1_100_000_001, false}} {
 		cur := clonePerf(base)
 		cur[0].Metrics["total_ns"] = tc.v
 		msgs := ComparePerf(base, cur, 0.10)
@@ -90,7 +91,7 @@ func TestComparePerf(t *testing.T) {
 
 	// The acceptance negative test: a 20% regression must be caught.
 	cur := clonePerf(base)
-	cur[1].Metrics["total_ns"] = 600
+	cur[1].Metrics["total_ns"] = 600_000_000
 	if msgs := ComparePerf(base, cur, 0.10); len(msgs) != 1 || !strings.Contains(msgs[0], "regressed") {
 		t.Errorf("20%% regression not caught: %v", msgs)
 	}
@@ -105,11 +106,17 @@ func TestComparePerf(t *testing.T) {
 		t.Errorf("missing metric not caught: %v", msgs)
 	}
 
-	// A metric appearing where the baseline was zero.
+	// A zero baseline is an absolute-delta comparison: drift within the
+	// count floor passes, growth past it gates.
 	cur = clonePerf(base)
-	cur[0].Metrics["zero"] = 5
-	if msgs := ComparePerf(base, cur, 0.10); len(msgs) != 1 || !strings.Contains(msgs[0], "appeared") {
-		t.Errorf("zero-baseline appearance not caught: %v", msgs)
+	cur[0].Metrics["zero"] = perfAbsCountAllowance
+	if msgs := ComparePerf(base, cur, 0.10); len(msgs) != 0 {
+		t.Errorf("zero baseline within absolute floor flagged: %v", msgs)
+	}
+	cur = clonePerf(base)
+	cur[0].Metrics["zero"] = perfAbsCountAllowance + 1
+	if msgs := ComparePerf(base, cur, 0.10); len(msgs) != 1 || !strings.Contains(msgs[0], "regressed") {
+		t.Errorf("zero-baseline growth past floor not caught: %v", msgs)
 	}
 
 	// Metrics unknown to the baseline are ignored (new instrumentation).
@@ -124,6 +131,37 @@ func TestComparePerf(t *testing.T) {
 	cur[0].Metrics["total_ns"] = 700
 	if msgs := ComparePerf(base, cur, 0.10); len(msgs) != 0 {
 		t.Errorf("improvement flagged: %v", msgs)
+	}
+}
+
+// The zero-baseline regression test for the perfgate fix: ns-valued and
+// count-valued metrics each get their own absolute floor, and small nonzero
+// baselines keep the floor too (2→3 on a counter is noise, not a 50%
+// regression).
+func TestComparePerfZeroBaselineAbsoluteDelta(t *testing.T) {
+	base := []PerfSnapshot{{Scenario: "s", Metrics: map[string]int64{
+		"ctr/col_groups_skipped": 0,
+		"excl_ns/scan":           0,
+		"ctr/sql_fallbacks":      2,
+	}}}
+
+	cur := []PerfSnapshot{{Scenario: "s", Metrics: map[string]int64{
+		"ctr/col_groups_skipped": perfAbsCountAllowance,
+		"excl_ns/scan":           perfAbsNSAllowance,
+		"ctr/sql_fallbacks":      2 + perfAbsCountAllowance,
+	}}}
+	if msgs := ComparePerf(base, cur, 0.10); len(msgs) != 0 {
+		t.Fatalf("drift within absolute floors flagged: %v", msgs)
+	}
+
+	cur = []PerfSnapshot{{Scenario: "s", Metrics: map[string]int64{
+		"ctr/col_groups_skipped": perfAbsCountAllowance + 1,
+		"excl_ns/scan":           perfAbsNSAllowance + 1,
+		"ctr/sql_fallbacks":      2,
+	}}}
+	msgs := ComparePerf(base, cur, 0.10)
+	if len(msgs) != 2 {
+		t.Fatalf("growth past absolute floors: got %v, want 2 regressions", msgs)
 	}
 }
 

@@ -21,6 +21,37 @@ type ccWork struct {
 	cc    *cc.Table
 }
 
+// batchRun carries one scheduled batch through its three execution phases —
+// beginBatch (spans, staging plan, admission state), scanBatch (the data
+// scan) and finishBatch (staging finalize, results, fallback, bookkeeping).
+// Step runs the phases back to back; the multi-tenant shared-scan path
+// (shared.go) runs begin and finish around a scan it performs itself, so the
+// state that used to live in Step's closures lives here instead.
+type batchRun struct {
+	m       *Middleware
+	b       *batch
+	srcName string
+	tr      *obs.Tracer
+	snap    sim.Snapshot
+	batchNo int
+	bsp     *obs.Span
+	plan    *stagePlan
+
+	live     []*ccWork
+	fallback []*Request
+	requeued []*Request
+
+	// Memory ceiling for this scan: CC tables under construction plus rows
+	// captured by memory tees must stay within what was free at scan start.
+	budget      int64
+	ccBytes     int64
+	teeBytes    int64
+	rowMemBytes int64
+	ccCost      int64
+
+	laneStats []EventLane
+}
+
 // Step schedules and executes one batch (§4.1.1): it picks the next set of
 // active nodes per the priority rules, builds all their counts tables in a
 // single scan of the chosen source, performs the planned staging, and
@@ -33,31 +64,49 @@ func (m *Middleware) Step() ([]*Result, error) {
 	if b == nil {
 		return nil, nil
 	}
+	r, err := m.beginBatch(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.scanBatch(r); err != nil {
+		r.bsp.End()
+		return nil, err
+	}
+	return m.finishBatch(r)
+}
+
+// beginBatch opens the batch: observability spans, the staging plan with its
+// file-tee writers, the per-request working state, and the admission-time
+// memory budget. On error every writer already created is aborted and the
+// batch span is closed.
+func (m *Middleware) beginBatch(b *batch) (*batchRun, error) {
 	// Observability: spans and metrics read the meter but never charge it,
 	// so enabling them cannot change any simulated result. With tracing and
 	// metrics disabled (tr == nil, cfg.Metrics == nil) none of the
 	// instrumentation below allocates.
 	tr := m.srv.Tracer()
-	srcName := b.kind.name()
-	var snap sim.Snapshot
+	r := &batchRun{m: m, b: b, srcName: b.kind.name(), tr: tr}
 	if tr != nil || m.cfg.Metrics != nil {
-		snap = m.meter.Snapshot()
+		r.snap = m.meter.Snapshot()
 	}
 	m.meter.Charge(sim.CtrBatches, 0, 1)
-	batchNo := int(m.meter.Count(sim.CtrBatches))
-	bsp := tr.Start(obs.CatBatch, "batch").SetSource(srcName).Attr("batch", int64(batchNo)).
+	r.batchNo = int(m.meter.Count(sim.CtrBatches))
+	r.bsp = tr.Start(obs.CatBatch, "batch").SetSource(r.srcName).Attr("batch", int64(r.batchNo)).
 		Attr("level", batchLevel(b))
-	defer bsp.End()
+	if m.cfg.Session > 0 {
+		r.bsp.Attr("session", int64(m.cfg.Session))
+	}
 
-	plan := m.planStaging(b)
-	for i, t := range plan.fileTees {
+	r.plan = m.planStaging(b)
+	for i, t := range r.plan.fileTees {
 		w, err := m.files.create()
 		if err != nil {
 			// Abort the writers already created for this batch so no
 			// half-planned staging files stay open or on disk.
-			for _, prev := range plan.fileTees[:i] {
+			for _, prev := range r.plan.fileTees[:i] {
 				prev.writer.Abort()
 			}
+			r.bsp.End()
 			return nil, err
 		}
 		t.writer = w
@@ -65,184 +114,199 @@ func (m *Middleware) Step() ([]*Result, error) {
 
 	// Working state per admitted request.
 	classIdx := m.schema.ClassIndex()
-	live := make([]*ccWork, 0, len(b.reqs))
-	for _, r := range b.reqs {
-		attrs := make([]int, 0, len(r.Attrs)+1)
-		attrs = append(attrs, r.Attrs...)
+	r.live = make([]*ccWork, 0, len(b.reqs))
+	for _, req := range b.reqs {
+		attrs := make([]int, 0, len(req.Attrs)+1)
+		attrs = append(attrs, req.Attrs...)
 		attrs = append(attrs, classIdx)
-		live = append(live, &ccWork{req: r, attrs: attrs, cc: cc.New()})
+		r.live = append(r.live, &ccWork{req: req, attrs: attrs, cc: cc.New()})
 	}
-	fallback := append([]*Request(nil), b.fallback...)
+	r.fallback = append([]*Request(nil), b.fallback...)
 
-	// Memory ceiling for this scan: CC tables under construction plus rows
-	// captured by memory tees must stay within what was free at scan start.
-	budget := m.memBudgetLeft()
-	var ccBytes, teeBytes int64
-	rowMemBytes := int64(m.schema.RowBytes()) + memRowOverhead
-	ccCost := m.meter.Costs().CCUpdate
+	r.budget = m.memBudgetLeft()
+	r.rowMemBytes = int64(m.schema.RowBytes()) + memRowOverhead
+	r.ccCost = m.meter.Costs().CCUpdate
+	return r, nil
+}
 
-	// evictLargest handles a runtime estimation error (§4.1.1): the counts
-	// tables under construction no longer fit. The request with the largest
-	// partial table is dropped from the scan; if other requests remain it is
-	// simply re-queued for a later, smaller batch, and only a request that
-	// overflows on its own (nothing left to shed) falls back to the
-	// server-side SQL implementation.
-	var requeued []*Request
-	evictLargest := func() {
-		if len(live) == 0 {
-			return
-		}
-		li := 0
-		for i, w := range live {
-			if w.cc.Bytes() > live[li].cc.Bytes() {
-				li = i
-			}
-		}
-		w := live[li]
-		ccBytes -= w.cc.Bytes()
-		live = append(live[:li], live[li+1:]...)
-		if len(live) > 0 {
-			requeued = append(requeued, w.req)
-		} else {
-			fallback = append(fallback, w.req)
+// evictLargest handles a runtime estimation error (§4.1.1): the counts
+// tables under construction no longer fit. The request with the largest
+// partial table is dropped from the scan; if other requests remain it is
+// simply re-queued for a later, smaller batch, and only a request that
+// overflows on its own (nothing left to shed) falls back to the
+// server-side SQL implementation.
+func (r *batchRun) evictLargest() {
+	if len(r.live) == 0 {
+		return
+	}
+	li := 0
+	for i, w := range r.live {
+		if w.cc.Bytes() > r.live[li].cc.Bytes() {
+			li = i
 		}
 	}
-
-	// dropLargestMemTee abandons the memory-staging tee holding the most
-	// rows, returning its memory to the scan budget. Staging is an
-	// optimization; when the runtime budget is exceeded it is sacrificed
-	// before any request is pushed to the SQL fallback.
-	dropLargestMemTee := func() bool {
-		if len(plan.memTees) == 0 {
-			return false
-		}
-		li := 0
-		for i, t := range plan.memTees {
-			if len(t.mem) > len(plan.memTees[li].mem) {
-				li = i
-			}
-		}
-		teeBytes -= int64(len(plan.memTees[li].mem)) * rowMemBytes
-		plan.memTees = append(plan.memTees[:li], plan.memTees[li+1:]...)
-		return true
+	w := r.live[li]
+	r.ccBytes -= w.cc.Bytes()
+	r.live = append(r.live[:li], r.live[li+1:]...)
+	if len(r.live) > 0 {
+		r.requeued = append(r.requeued, w.req)
+	} else {
+		r.fallback = append(r.fallback, w.req)
 	}
+}
 
-	process := func(row data.Row) {
-		for i := 0; i < len(live); i++ {
-			w := live[i]
-			if !w.req.Path.Eval(row) {
-				continue
-			}
-			before := w.cc.Bytes()
-			w.cc.AddRow(row, w.attrs)
-			ccBytes += w.cc.Bytes() - before
-			m.meter.Charge(sim.CtrCCUpdates, ccCost, 1)
-		}
-		for ccBytes+teeBytes > budget {
-			if dropLargestMemTee() {
-				continue
-			}
-			// Reclaim staged memory (but never the data set being scanned).
-			if m.evictMemoryStageExcept(b.stage) {
-				budget = m.memBudgetLeft()
-				continue
-			}
-			if len(live) == 0 {
-				break
-			}
-			evictLargest()
-		}
-		for _, t := range plan.fileTees {
-			if t.filter.Eval(row) {
-				t.writer.Write(row)
-			}
-		}
-		for _, t := range plan.memTees {
-			if t.filter.Eval(row) {
-				t.mem = append(t.mem, row.Clone())
-				teeBytes += rowMemBytes
-			}
+// dropLargestMemTee abandons the memory-staging tee holding the most
+// rows, returning its memory to the scan budget. Staging is an
+// optimization; when the runtime budget is exceeded it is sacrificed
+// before any request is pushed to the SQL fallback.
+func (r *batchRun) dropLargestMemTee() bool {
+	if len(r.plan.memTees) == 0 {
+		return false
+	}
+	li := 0
+	for i, t := range r.plan.memTees {
+		if len(t.mem) > len(r.plan.memTees[li].mem) {
+			li = i
 		}
 	}
+	r.teeBytes -= int64(len(r.plan.memTees[li].mem)) * r.rowMemBytes
+	r.plan.memTees = append(r.plan.memTees[:li], r.plan.memTees[li+1:]...)
+	return true
+}
 
-	var laneStats []EventLane
-	if len(live) > 0 {
-		ssp := tr.Start(obs.CatScan, "scan").SetSource(srcName)
-		if ssp != nil {
-			ids := make([]int, len(live))
-			for i, w := range live {
-				ids[i] = w.req.NodeID
-			}
-			ssp.SetNodes(ids)
+// rebalance sheds state until the batch fits its memory ceiling again:
+// memory tees first, then staged memory outside the batch's own source,
+// then the largest counts table.
+func (r *batchRun) rebalance() {
+	for r.ccBytes+r.teeBytes > r.budget {
+		if r.dropLargestMemTee() {
+			continue
 		}
-		var scanSnap sim.Snapshot
-		if ssp != nil {
-			scanSnap = m.meter.Snapshot()
+		// Reclaim staged memory (but never the data set being scanned).
+		if r.m.evictMemoryStageExcept(r.b.stage) {
+			r.budget = r.m.memBudgetLeft()
+			continue
 		}
-		var scanErr error
-		var pres *parallelScanResult
-		csrv := m.columnarServer(b)
-		if csrv != nil {
-			// The vectorized columnar kernel always runs through the
-			// worker-shard pipeline (a single lane when Workers <= 1).
-			pres, scanErr = m.runScanColumnar(b, plan, live, csrv, budget)
-		} else if sp := m.planParallel(b, plan, budget); sp.nworkers > 1 {
-			pres, scanErr = m.runScanParallel(b, plan, live, sp, budget)
-		} else {
-			scanErr = m.runScan(b, process)
+		if len(r.live) == 0 {
+			break
 		}
-		if scanErr == nil && pres != nil {
-			live = pres.live
-			ccBytes, teeBytes = pres.ccBytes, pres.teeBytes
-			requeued = append(requeued, pres.requeued...)
-			fallback = append(fallback, pres.fallback...)
-			laneStats = pres.lanes
-			// Re-check the eviction/fallback path post-merge: the
-			// per-worker budget slices are only a mid-scan
-			// approximation, and the merged tables plus concatenated
-			// tees must fit the real remaining budget.
-			for ccBytes+teeBytes > budget {
-				if dropLargestMemTee() {
-					continue
-				}
-				if m.evictMemoryStageExcept(b.stage) {
-					budget = m.memBudgetLeft()
-					continue
-				}
-				if len(live) == 0 {
-					break
-				}
-				evictLargest()
-			}
+		r.evictLargest()
+	}
+}
+
+// processRow is the sequential scan's per-row body: count the row into every
+// matching request's table, police the budget, and feed the staging tees.
+func (r *batchRun) processRow(row data.Row) {
+	m := r.m
+	for i := 0; i < len(r.live); i++ {
+		w := r.live[i]
+		if !w.req.Path.Eval(row) {
+			continue
 		}
-		if scanErr != nil {
-			for _, t := range plan.fileTees {
-				t.writer.Abort()
-			}
-			ssp.End()
-			return nil, scanErr
+		before := w.cc.Bytes()
+		w.cc.AddRow(row, w.attrs)
+		r.ccBytes += w.cc.Bytes() - before
+		m.meter.Charge(sim.CtrCCUpdates, r.ccCost, 1)
+	}
+	r.rebalance()
+	for _, t := range r.plan.fileTees {
+		if t.filter.Eval(row) {
+			t.writer.Write(row)
 		}
-		if ssp != nil {
-			ssp.SetRows(m.meter.CountSince(scanSnap, scanRowCounter(b.kind)))
-			if csrv != nil {
-				// Zone-map effectiveness per scan: row groups the columnar
-				// kernel actually read vs. skipped via dictionary bounds.
-				ssp.Attr("col_groups_scanned", m.meter.CountSince(scanSnap, sim.CtrColGroupsScanned)).
-					Attr("col_groups_skipped", m.meter.CountSince(scanSnap, sim.CtrColGroupsSkipped))
-			}
+	}
+	for _, t := range r.plan.memTees {
+		if t.filter.Eval(row) {
+			t.mem = append(t.mem, row.Clone())
+			r.teeBytes += r.rowMemBytes
+		}
+	}
+}
+
+// applyScan folds a merged worker-shard result into the run and re-checks
+// the eviction/fallback path post-merge: the per-worker budget slices are
+// only a mid-scan approximation, and the merged tables plus concatenated
+// tees must fit the real remaining budget.
+func (r *batchRun) applyScan(pres *parallelScanResult) {
+	r.live = pres.live
+	r.ccBytes, r.teeBytes = pres.ccBytes, pres.teeBytes
+	r.requeued = append(r.requeued, pres.requeued...)
+	r.fallback = append(r.fallback, pres.fallback...)
+	r.laneStats = pres.lanes
+	r.rebalance()
+}
+
+// scanBatch executes the batch's data scan: the vectorized columnar kernel,
+// the partitioned row-parallel pipeline, or the paper's sequential loop. On
+// error the staging writers are aborted and the scan span closed; the caller
+// closes the batch span.
+func (m *Middleware) scanBatch(r *batchRun) error {
+	if len(r.live) == 0 {
+		return nil
+	}
+	b := r.b
+	ssp := r.tr.Start(obs.CatScan, "scan").SetSource(r.srcName)
+	if ssp != nil {
+		ids := make([]int, len(r.live))
+		for i, w := range r.live {
+			ids[i] = w.req.NodeID
+		}
+		ssp.SetNodes(ids)
+	}
+	var scanSnap sim.Snapshot
+	if ssp != nil {
+		scanSnap = m.meter.Snapshot()
+	}
+	var scanErr error
+	var pres *parallelScanResult
+	csrv := m.columnarServer(b)
+	if csrv != nil {
+		// The vectorized columnar kernel always runs through the
+		// worker-shard pipeline (a single lane when Workers <= 1).
+		pres, scanErr = m.runScanColumnar(b, r.plan, r.live, csrv, r.budget)
+	} else if sp := m.planParallel(b, r.plan, r.budget); sp.nworkers > 1 {
+		pres, scanErr = m.runScanParallel(b, r.plan, r.live, sp, r.budget)
+	} else {
+		scanErr = m.runScan(b, r.processRow)
+	}
+	if scanErr == nil && pres != nil {
+		r.applyScan(pres)
+	}
+	if scanErr != nil {
+		for _, t := range r.plan.fileTees {
+			t.writer.Abort()
 		}
 		ssp.End()
+		return scanErr
 	}
+	if ssp != nil {
+		ssp.SetRows(m.meter.CountSince(scanSnap, scanRowCounter(b.kind)))
+		if csrv != nil {
+			// Zone-map effectiveness per scan: row groups the columnar
+			// kernel actually read vs. skipped via dictionary bounds.
+			ssp.Attr("col_groups_scanned", m.meter.CountSince(scanSnap, sim.CtrColGroupsScanned)).
+				Attr("col_groups_skipped", m.meter.CountSince(scanSnap, sim.CtrColGroupsSkipped))
+		}
+	}
+	ssp.End()
+	return nil
+}
+
+// finishBatch finalizes staging, posts the scan's results, services the
+// fallback requests, requeues shed requests and emits the batch's trace
+// event and metrics. It always closes the batch span.
+func (m *Middleware) finishBatch(r *batchRun) ([]*Result, error) {
+	defer r.bsp.End()
+	tr := r.tr
 
 	// Finalize staging.
-	for i, t := range plan.fileTees {
+	for i, t := range r.plan.fileTees {
 		stsp := tr.Start(obs.CatStage, "stage-file").SetNodes(t.keyNodes)
 		sf, err := t.writer.Finish()
 		if err != nil {
 			stsp.End()
 			// Finish removed its own file; abort the remaining tees' writers
 			// so their files do not stay open and on disk unregistered.
-			for _, rest := range plan.fileTees[i+1:] {
+			for _, rest := range r.plan.fileTees[i+1:] {
 				rest.writer.Abort()
 			}
 			return nil, err
@@ -262,8 +326,8 @@ func (m *Middleware) Step() ([]*Result, error) {
 		m.registerStage(sd)
 	}
 	var stagedMemRows int64
-	for _, t := range plan.memTees {
-		bytes := int64(len(t.mem)) * rowMemBytes
+	for _, t := range r.plan.memTees {
+		bytes := int64(len(t.mem)) * r.rowMemBytes
 		stagedMemRows += int64(len(t.mem))
 		tr.Start(obs.CatStage, "stage-memory").SetNodes(t.keyNodes).
 			SetRows(int64(len(t.mem))).SetBytes(bytes).End()
@@ -285,75 +349,75 @@ func (m *Middleware) Step() ([]*Result, error) {
 
 	// Post results.
 	var results []*Result
-	for _, w := range live {
-		res := &Result{Req: w.req, CC: w.cc, Source: srcName}
+	for _, w := range r.live {
+		res := &Result{Req: w.req, CC: w.cc, Source: r.srcName}
 		m.open[w.req.NodeID] = res
 		m.ccHold += w.cc.Bytes()
 		results = append(results, res)
 	}
-	if nfw := m.fallbackWorkers(fallback); nfw > 1 {
+	if nfw := m.fallbackWorkers(r.fallback); nfw > 1 {
 		// Fan the fallback requests' GROUP BY arms out over forked lanes
 		// (see fallback_parallel.go); tables come back in request order.
-		tables := m.runFallbackParallel(fallback, nfw)
-		for i, r := range fallback {
+		tables := m.runFallbackParallel(r.fallback, nfw)
+		for i, req := range r.fallback {
 			t := tables[i]
 			m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
-			res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
-			m.open[r.NodeID] = res
+			res := &Result{Req: req, CC: t, ViaSQL: true, Source: "sql"}
+			m.open[req.NodeID] = res
 			m.ccHold += t.Bytes()
 			results = append(results, res)
 		}
 	} else {
-		for _, r := range fallback {
-			fsp := tr.Start(obs.CatFallback, "sql-fallback").Attr("node", int64(r.NodeID))
-			t, err := m.sqlCounts(r)
+		for _, req := range r.fallback {
+			fsp := tr.Start(obs.CatFallback, "sql-fallback").Attr("node", int64(req.NodeID))
+			t, err := m.sqlCounts(req)
 			if err != nil {
 				fsp.End()
 				return nil, err
 			}
 			m.meter.Charge(sim.CtrSQLFallbacks, 0, 1)
 			fsp.SetSource("sql").SetRows(t.Rows()).End()
-			res := &Result{Req: r, CC: t, ViaSQL: true, Source: "sql"}
-			m.open[r.NodeID] = res
+			res := &Result{Req: req, CC: t, ViaSQL: true, Source: "sql"}
+			m.open[req.NodeID] = res
 			m.ccHold += t.Bytes()
 			results = append(results, res)
 		}
 	}
 	// Requests shed mid-scan return to the queue for a later batch.
-	m.queue = append(m.queue, requeued...)
+	m.queue = append(m.queue, r.requeued...)
 
 	if m.cfg.Trace != nil {
 		ev := Event{
-			Batch:         batchNo,
-			Source:        srcName,
-			NewFiles:      len(plan.fileTees),
+			Batch:         r.batchNo,
+			Source:        r.srcName,
+			NewFiles:      len(r.plan.fileTees),
 			StagedMemRows: stagedMemRows,
-			Lanes:         laneStats,
+			Lanes:         r.laneStats,
 		}
-		for _, w := range live {
+		for _, w := range r.live {
 			ev.Nodes = append(ev.Nodes, w.req.NodeID)
 		}
-		for _, r := range fallback {
-			ev.Fallback = append(ev.Fallback, r.NodeID)
+		for _, req := range r.fallback {
+			ev.Fallback = append(ev.Fallback, req.NodeID)
 		}
-		for _, r := range requeued {
-			ev.Requeued = append(ev.Requeued, r.NodeID)
+		for _, req := range r.requeued {
+			ev.Requeued = append(ev.Requeued, req.NodeID)
 		}
 		m.cfg.Trace(ev)
 	}
 	if pm := m.cfg.Metrics; pm != nil {
 		srvN, fileN, memN := m.residency()
 		bs := obs.BatchStats{
-			Batch:          batchNo,
-			Source:         srcName,
-			StartNS:        int64(snap.Now),
+			Batch:          r.batchNo,
+			Source:         r.srcName,
+			StartNS:        int64(r.snap.Now),
 			EndNS:          int64(m.meter.Now()),
-			NNodes:         len(live),
-			NFallbacks:     len(fallback),
-			NRequeued:      len(requeued),
-			NewFiles:       len(plan.fileTees),
+			NNodes:         len(r.live),
+			NFallbacks:     len(r.fallback),
+			NRequeued:      len(r.requeued),
+			NewFiles:       len(r.plan.fileTees),
 			StagedMemRows:  stagedMemRows,
-			Deltas:         deltasByName(m.meter.CountersSince(snap)),
+			Deltas:         deltasByName(m.meter.CountersSince(r.snap)),
 			MemUsedBytes:   m.MemoryInUse(),
 			MemBudgetBytes: m.cfg.Memory,
 			FileUsedBytes:  m.files.bytesInUse,
@@ -363,7 +427,7 @@ func (m *Middleware) Step() ([]*Result, error) {
 			NodesFile:      fileN,
 			NodesMemory:    memN,
 		}
-		for _, ls := range laneStats {
+		for _, ls := range r.laneStats {
 			bs.Lanes = append(bs.Lanes, obs.LaneStat{
 				Lane: ls.Lane, ElapsedNS: int64(ls.Elapsed), Rows: ls.Rows,
 			})
@@ -503,7 +567,22 @@ func (m *Middleware) runScan(b *batch, process func(data.Row)) error {
 // runtime fallback when a counts table cannot fit in middleware memory
 // (§4.1.1) and, via the baseline package, the strawman of Figure 7.
 func (m *Middleware) sqlCounts(r *Request) (*cc.Table, error) {
-	rs, err := m.srv.Engine().Exec(CountsSQL(m.schema, m.srv.TableName(), r.Path, r.Attrs))
+	eng := m.srv.Engine()
+	query := CountsSQL(m.schema, m.srv.TableName(), r.Path, r.Attrs)
+	if em := eng.Meter(); em != m.meter {
+		// Session middleware: the statement executes under the engine's own
+		// clock (the engine is shared by the whole fleet), so fold its
+		// counter deltas and elapsed time back into the session meter.
+		base := em.CounterVec()
+		baseNow := em.Now()
+		rs, err := eng.Exec(query)
+		if err != nil {
+			return nil, err
+		}
+		m.meter.AbsorbDelta(em.CounterVec().Delta(base), int64(em.Now()-baseNow))
+		return CountsFromResult(m.schema, rs)
+	}
+	rs, err := eng.Exec(query)
 	if err != nil {
 		return nil, err
 	}

@@ -123,21 +123,7 @@ func (m *Middleware) runScanColumnar(b *batch, plan *stagePlan, live []*ccWork, 
 	shards := make([]*workerShard, nworkers)
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
-		sh := &workerShard{
-			ccs:       make([]*cc.Table, len(live)),
-			shed:      make([]bool, len(live)),
-			memBufs:   make([][]data.Row, len(plan.memTees)),
-			memDrop:   make([]bool, len(plan.memTees)),
-			fileBufs:  make([][]byte, len(plan.fileTees)),
-			fileRows:  make([]int64, len(plan.fileTees)),
-			fileStats: make([]*engine.ValueStats, len(plan.fileTees)),
-		}
-		for i := range sh.ccs {
-			sh.ccs[i] = cc.New()
-		}
-		for k := range sh.fileStats {
-			sh.fileStats[k] = m.files.newStats()
-		}
+		sh := m.newWorkerShard(plan, len(live))
 		shards[w] = sh
 		var ltr *obs.Tracer
 		if ltrs != nil {
@@ -160,83 +146,140 @@ func (m *Middleware) runScanColumnar(b *batch, plan *stagePlan, live []*ccWork, 
 
 // columnarWorker is the body of one columnar scan lane: row groups
 // [loGroup, hiGroup) of srv's columnar copy, driven block by block through
-// the vectorized kernel with every cost charged to lane. Node predicates
-// and tee filters compile once per row group into dictionary-code space;
-// within a block each node refines the server's selection vector, bumps the
-// dense histogram per selected row (CCBump), and folds distinct cells into
-// its shard treap (CCFoldEntry).
+// the vectorized kernel with every cost charged to lane.
 func (m *Middleware) columnarWorker(plan *stagePlan, live []*ccWork, srv *engine.Server, filter predicate.Filter, needCols []int, loGroup, hiGroup int, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) {
-	costs := lane.Costs()
-	classIdx := m.schema.ClassIndex()
-	pb := &shardBudget{sh: sh, slice: slice, rowMemBytes: rowMemBytes}
+	cw := m.newColConsumer(plan, live, lane, sh, slice, rowMemBytes)
+	srv.ScanColumnarRange(filter, needCols, loGroup, hiGroup, lane, cw.consume)
+}
 
-	var (
-		curGroup    *storage.ColGroup
-		nodeConjs   = make([]engine.GroupConj, len(live))
-		fileFilters = make([]engine.GroupFilter, len(plan.fileTees))
-		memFilters  = make([]engine.GroupFilter, len(plan.memTees))
-		classDict   []data.Value
-		classCodes  []uint16
-		subsel      []int32
-		teeSel      []int32
-		hist        []int64
-		rowBuf      data.Row
-	)
-	srv.ScanColumnarRange(filter, needCols, loGroup, hiGroup, lane, func(blk *engine.ColBlock) bool {
-		g := blk.Group
-		if g != curGroup {
-			curGroup = g
-			for i, wk := range live {
-				nodeConjs[i] = engine.CompileGroupConj(g, wk.req.Path)
-			}
-			for k, t := range plan.fileTees {
-				fileFilters[k] = engine.CompileGroupFilter(g, t.filter)
-			}
-			for j, t := range plan.memTees {
-				memFilters[j] = engine.CompileGroupFilter(g, t.filter)
-			}
-			classDict, classCodes = g.Dict(classIdx), g.Codes(classIdx)
+// newWorkerShard allocates the worker-local state of one scan lane sized for
+// the batch's live requests and staging tees.
+func (m *Middleware) newWorkerShard(plan *stagePlan, nlive int) *workerShard {
+	sh := &workerShard{
+		ccs:       make([]*cc.Table, nlive),
+		shed:      make([]bool, nlive),
+		memBufs:   make([][]data.Row, len(plan.memTees)),
+		memDrop:   make([]bool, len(plan.memTees)),
+		fileBufs:  make([][]byte, len(plan.fileTees)),
+		fileRows:  make([]int64, len(plan.fileTees)),
+		fileStats: make([]*engine.ValueStats, len(plan.fileTees)),
+	}
+	for i := range sh.ccs {
+		sh.ccs[i] = cc.New()
+	}
+	for k := range sh.fileStats {
+		sh.fileStats[k] = m.files.newStats()
+	}
+	return sh
+}
+
+// colConsumer is the per-block body of the vectorized columnar kernel,
+// counting one batch's live requests into one worker shard. Node predicates
+// and tee filters compile once per row group into dictionary-code space;
+// within a block each node refines the incoming selection vector, bumps the
+// dense histogram per selected row (CCBump), and folds distinct cells into
+// its shard treap (CCFoldEntry). It is driven either by one lane of a
+// partitioned ScanColumnarRange (columnarWorker) or, as a session's
+// attachment to a multi-tenant shared scan, by ScanColumnarShared via
+// mw.SharedBatch — the same kernel either way, so shared and solo scans
+// produce identical counts.
+type colConsumer struct {
+	m           *Middleware
+	plan        *stagePlan
+	live        []*ccWork
+	lane        *sim.Meter
+	sh          *workerShard
+	pb          *shardBudget
+	costs       sim.Costs
+	classIdx    int
+	rowMemBytes int64
+
+	curGroup    *storage.ColGroup
+	nodeConjs   []engine.GroupConj
+	fileFilters []engine.GroupFilter
+	memFilters  []engine.GroupFilter
+	classDict   []data.Value
+	classCodes  []uint16
+	subsel      []int32
+	teeSel      []int32
+	hist        []int64
+	rowBuf      data.Row
+}
+
+func (m *Middleware) newColConsumer(plan *stagePlan, live []*ccWork, lane *sim.Meter, sh *workerShard, slice, rowMemBytes int64) *colConsumer {
+	return &colConsumer{
+		m:           m,
+		plan:        plan,
+		live:        live,
+		lane:        lane,
+		sh:          sh,
+		pb:          &shardBudget{sh: sh, slice: slice, rowMemBytes: rowMemBytes},
+		costs:       lane.Costs(),
+		classIdx:    m.schema.ClassIndex(),
+		rowMemBytes: rowMemBytes,
+		nodeConjs:   make([]engine.GroupConj, len(live)),
+		fileFilters: make([]engine.GroupFilter, len(plan.fileTees)),
+		memFilters:  make([]engine.GroupFilter, len(plan.memTees)),
+	}
+}
+
+// consume processes one block of the columnar scan; it always keeps the
+// consumer attached.
+func (c *colConsumer) consume(blk *engine.ColBlock) bool {
+	sh, lane, plan, live := c.sh, c.lane, c.plan, c.live
+	g := blk.Group
+	if g != c.curGroup {
+		c.curGroup = g
+		for i, wk := range live {
+			c.nodeConjs[i] = engine.CompileGroupConj(g, wk.req.Path)
 		}
-		for i := range live {
-			if sh.shed[i] {
-				continue
-			}
-			subsel = nodeConjs[i].Refine(g, blk.Sel, subsel[:0])
-			if len(subsel) == 0 {
-				continue
-			}
-			lane.Charge(sim.CtrCCUpdates, costs.CCBump, int64(len(subsel)))
-			t := sh.ccs[i]
-			before := t.Bytes()
-			var folded int
-			for _, a := range live[i].attrs {
-				hist, folded = t.AddMany(a, g.Dict(a), g.Codes(a), classDict, classCodes, subsel, hist)
-				lane.Charge(sim.CtrCCFolds, costs.CCFoldEntry, int64(folded))
-			}
-			t.AddRows(int64(len(subsel)))
-			pb.ccBytes += t.Bytes() - before
+		for k, t := range plan.fileTees {
+			c.fileFilters[k] = engine.CompileGroupFilter(g, t.filter)
 		}
-		pb.police()
-		for k := range plan.fileTees {
-			teeSel = fileFilters[k].Refine(g, blk.Sel, teeSel[:0])
-			for _, ri := range teeSel {
-				rowBuf = blk.MaterializeRow(ri, rowBuf)
-				sh.fileBufs[k] = rowBuf.Encode(sh.fileBufs[k])
-				sh.fileRows[k]++
-				sh.fileStats[k].Note(rowBuf)
-				lane.Charge(sim.CtrFileRowsWritten, costs.FileRowWrite, 1)
-			}
+		for j, t := range plan.memTees {
+			c.memFilters[j] = engine.CompileGroupFilter(g, t.filter)
 		}
-		for j := range plan.memTees {
-			if sh.memDrop[j] {
-				continue
-			}
-			teeSel = memFilters[j].Refine(g, blk.Sel, teeSel[:0])
-			for _, ri := range teeSel {
-				sh.memBufs[j] = append(sh.memBufs[j], blk.MaterializeRow(ri, nil))
-				pb.teeBytes += rowMemBytes
-			}
+		c.classDict, c.classCodes = g.Dict(c.classIdx), g.Codes(c.classIdx)
+	}
+	for i := range live {
+		if sh.shed[i] {
+			continue
 		}
-		return true
-	})
+		c.subsel = c.nodeConjs[i].Refine(g, blk.Sel, c.subsel[:0])
+		if len(c.subsel) == 0 {
+			continue
+		}
+		lane.Charge(sim.CtrCCUpdates, c.costs.CCBump, int64(len(c.subsel)))
+		t := sh.ccs[i]
+		before := t.Bytes()
+		var folded int
+		for _, a := range live[i].attrs {
+			c.hist, folded = t.AddMany(a, g.Dict(a), g.Codes(a), c.classDict, c.classCodes, c.subsel, c.hist)
+			lane.Charge(sim.CtrCCFolds, c.costs.CCFoldEntry, int64(folded))
+		}
+		t.AddRows(int64(len(c.subsel)))
+		c.pb.ccBytes += t.Bytes() - before
+	}
+	c.pb.police()
+	for k := range plan.fileTees {
+		c.teeSel = c.fileFilters[k].Refine(g, blk.Sel, c.teeSel[:0])
+		for _, ri := range c.teeSel {
+			c.rowBuf = blk.MaterializeRow(ri, c.rowBuf)
+			sh.fileBufs[k] = c.rowBuf.Encode(sh.fileBufs[k])
+			sh.fileRows[k]++
+			sh.fileStats[k].Note(c.rowBuf)
+			lane.Charge(sim.CtrFileRowsWritten, c.costs.FileRowWrite, 1)
+		}
+	}
+	for j := range plan.memTees {
+		if sh.memDrop[j] {
+			continue
+		}
+		c.teeSel = c.memFilters[j].Refine(g, blk.Sel, c.teeSel[:0])
+		for _, ri := range c.teeSel {
+			sh.memBufs[j] = append(sh.memBufs[j], blk.MaterializeRow(ri, nil))
+			c.pb.teeBytes += c.rowMemBytes
+		}
+	}
+	return true
 }

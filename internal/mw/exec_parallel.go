@@ -264,21 +264,7 @@ func (m *Middleware) runScanParallel(b *batch, plan *stagePlan, live []*ccWork, 
 	shards := make([]*workerShard, nworkers)
 	var wg sync.WaitGroup
 	for w := 0; w < nworkers; w++ {
-		sh := &workerShard{
-			ccs:       make([]*cc.Table, len(live)),
-			shed:      make([]bool, len(live)),
-			memBufs:   make([][]data.Row, len(plan.memTees)),
-			memDrop:   make([]bool, len(plan.memTees)),
-			fileBufs:  make([][]byte, len(plan.fileTees)),
-			fileRows:  make([]int64, len(plan.fileTees)),
-			fileStats: make([]*engine.ValueStats, len(plan.fileTees)),
-		}
-		for i := range sh.ccs {
-			sh.ccs[i] = cc.New()
-		}
-		for k := range sh.fileStats {
-			sh.fileStats[k] = m.files.newStats()
-		}
+		sh := m.newWorkerShard(plan, len(live))
 		shards[w] = sh
 		var ltr *obs.Tracer
 		if ltrs != nil {

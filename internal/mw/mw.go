@@ -201,6 +201,10 @@ type Config struct {
 	// default) runs the vectorized columnar kernel wherever a columnar copy
 	// exists, ColumnarOff preserves the row-major path as the ablation.
 	Columnar ColumnarMode
+	// Session tags this middleware's batches with a fleet session id (> 0)
+	// in traces and spans. Zero — a single-tenant build — emits exactly the
+	// spans it always did.
+	Session int
 
 	// Ablation switches. Both default to off (= the paper's design) and
 	// exist for the ablation experiments that quantify each design choice.
@@ -484,6 +488,17 @@ func (m *Middleware) memBudgetLeft() int64 {
 // MemoryInUse returns the bytes currently charged against the middleware
 // memory budget (staged rows plus open CC tables).
 func (m *Middleware) MemoryInUse() int64 { return m.stagedMem + m.ccHold }
+
+// SetMemoryBudget re-tunes the middleware memory budget mid-build (zero
+// means unlimited). The multi-tenant fleet calls it when sessions join or
+// leave, re-slicing one physical budget fairly across the builds that share
+// it; the new ceiling takes effect at the next batch's admission check.
+func (m *Middleware) SetMemoryBudget(b int64) {
+	if b < 0 {
+		b = 0
+	}
+	m.cfg.Memory = b
+}
 
 // FileBytesInUse returns the bytes of live middleware staging files.
 func (m *Middleware) FileBytesInUse() int64 { return m.files.bytesInUse }

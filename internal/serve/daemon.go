@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Daemon serves one engine over the wire protocol: plain SQL statements
+// execute directly, and BUILD TREE commands are funneled through the fleet
+// scheduler so that tree builds submitted by concurrent clients run as one
+// multi-tenant cohort — sharing scans and splitting the memory budget —
+// while each still receives its own deterministic result.
+//
+// Concurrency model: connection handlers are goroutines, but everything that
+// touches the engine is serialized — SQL statements under the engine mutex,
+// and builds by a single coordinator goroutine that drains the build queue
+// into fleet runs. Builds queued while a run executes batch into the next
+// run, which is exactly the window in which scan sharing pays.
+type Daemon struct {
+	srv *engine.Server
+	cfg DaemonConfig
+
+	emu sync.Mutex // engine access: SQL statements and fleet runs
+
+	bmu    sync.Mutex
+	bcond  *sync.Cond
+	bqueue []*buildReq
+	runSeq int64
+	closed bool
+
+	cmu      sync.Mutex
+	conns    map[net.Conn]bool
+	draining bool
+
+	wg sync.WaitGroup // connection handlers + build coordinator
+}
+
+// DaemonConfig tunes the daemon.
+type DaemonConfig struct {
+	// Fleet is the multi-tenant scheduling configuration for BUILD TREE
+	// cohorts (session cap, memory budget, scan sharing).
+	Fleet FleetConfig
+	// Seed seeds the virtual arrival schedule of each fleet run
+	// (sim.Arrivals); the run sequence number is folded in so distinct runs
+	// draw distinct schedules.
+	Seed int64
+	// MeanGapNS is the mean virtual inter-arrival gap between the sessions
+	// of one fleet run. Zero makes all sessions of a run arrive at virtual
+	// time zero — the reproducible setting the equivalence tests use.
+	MeanGapNS int64
+}
+
+// NewDaemon creates a daemon over the server.
+func NewDaemon(srv *engine.Server, cfg DaemonConfig) *Daemon {
+	d := &Daemon{srv: srv, cfg: cfg, conns: make(map[net.Conn]bool)}
+	d.bcond = sync.NewCond(&d.bmu)
+	return d
+}
+
+// Serve accepts connections until Drain closes the listener. It returns nil
+// on a drain-initiated stop and the accept error otherwise.
+func (d *Daemon) Serve(ln net.Listener) error {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.buildLoop()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			d.cmu.Lock()
+			stopped := d.draining
+			d.cmu.Unlock()
+			if stopped {
+				return nil
+			}
+			return err
+		}
+		d.cmu.Lock()
+		if d.draining {
+			d.cmu.Unlock()
+			conn.Close()
+			continue
+		}
+		d.conns[conn] = true
+		d.cmu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handle(conn)
+		}()
+	}
+}
+
+// Drain stops the daemon gracefully: the listener closes, idle connections
+// are unblocked (their next read fails), in-flight statements run to
+// completion and flush their responses, and Drain returns when every handler
+// has exited. ln is the listener given to Serve.
+func (d *Daemon) Drain(ln net.Listener) {
+	d.cmu.Lock()
+	if d.draining {
+		d.cmu.Unlock()
+		d.wg.Wait()
+		return
+	}
+	d.draining = true
+	for c := range d.conns { //repolint:ordered deadline fan-out, order-free
+		// Unblock handlers parked in ReadFrame; a handler mid-statement is
+		// not reading and finishes its statement (and response) first.
+		c.SetReadDeadline(time.Unix(0, 0))
+	}
+	d.cmu.Unlock()
+	ln.Close()
+	d.bmu.Lock()
+	d.closed = true
+	d.bcond.Broadcast()
+	d.bmu.Unlock()
+	d.wg.Wait()
+}
+
+// handle speaks the protocol on one connection.
+func (d *Daemon) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		d.cmu.Lock()
+		delete(d.conns, conn)
+		d.cmu.Unlock()
+	}()
+
+	var hello wire.Hello
+	if err := wire.Expect(conn, wire.THello, &hello); err != nil {
+		return
+	}
+	if hello.Version != wire.Version {
+		wire.WriteFrame(conn, wire.TError,
+			wire.Error{Msg: fmt.Sprintf("served: protocol version %d not supported (want %d)", hello.Version, wire.Version)})
+		return
+	}
+	ack := wire.HelloAck{Version: wire.Version, Table: d.srv.TableName(), Rows: d.srv.NumRows()}
+	if err := wire.WriteFrame(conn, wire.THelloAck, ack); err != nil {
+		return
+	}
+
+	for {
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // disconnect or drain deadline
+		}
+		switch t {
+		case wire.TGoodbye:
+			return
+		case wire.TQuery:
+			var q wire.Query
+			if err := unmarshal(payload, &q); err != nil {
+				wire.WriteFrame(conn, wire.TError, wire.Error{Msg: err.Error()})
+				continue
+			}
+			if err := d.serveQuery(conn, q.SQL); err != nil {
+				return // write failure: connection is gone
+			}
+		default:
+			wire.WriteFrame(conn, wire.TError,
+				wire.Error{Msg: fmt.Sprintf("served: unexpected %s frame", t)})
+		}
+	}
+}
+
+// serveQuery executes one statement and streams its result. Statement
+// failures are reported in-band with a TError frame; the returned error is
+// non-nil only for connection-level write failures.
+func (d *Daemon) serveQuery(conn net.Conn, sql string) error {
+	var rs *resultStream
+	var err error
+	if isBuildStmt(sql) {
+		rs, err = d.serveBuild(sql)
+	} else {
+		rs, err = d.serveSQL(sql)
+	}
+	if err != nil {
+		return wire.WriteFrame(conn, wire.TError, wire.Error{Msg: err.Error()})
+	}
+	return rs.write(conn)
+}
+
+// resultStream is a fully materialized statement result awaiting framing.
+type resultStream struct {
+	cols []string
+	rows [][]wire.Cell
+}
+
+// write streams the result as header, row batches and done.
+func (rs *resultStream) write(conn net.Conn) error {
+	if err := wire.WriteFrame(conn, wire.TResultHeader, wire.ResultHeader{Cols: rs.cols}); err != nil {
+		return err
+	}
+	for base := 0; base < len(rs.rows); base += wire.BatchRows {
+		hi := base + wire.BatchRows
+		if hi > len(rs.rows) {
+			hi = len(rs.rows)
+		}
+		if err := wire.WriteFrame(conn, wire.TRowBatch, wire.RowBatch{Rows: rs.rows[base:hi]}); err != nil {
+			return err
+		}
+	}
+	return wire.WriteFrame(conn, wire.TDone, wire.Done{Rows: int64(len(rs.rows))})
+}
+
+// serveSQL executes one engine statement under the engine mutex.
+func (d *Daemon) serveSQL(sql string) (*resultStream, error) {
+	d.emu.Lock()
+	res, err := d.srv.Engine().Exec(sql)
+	d.emu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	rs := &resultStream{cols: res.Cols}
+	for _, r := range res.Rows {
+		row := make([]wire.Cell, len(r))
+		for i, v := range r {
+			row[i] = wire.Cell{Str: v.Str, I: v.I, S: v.S}
+		}
+		rs.rows = append(rs.rows, row)
+	}
+	return rs, nil
+}
+
+// buildReq is one client's BUILD TREE command waiting for the coordinator.
+type buildReq struct {
+	opt    dtree.Options
+	output string // "stats", "tree" or "trace"
+	done   chan buildResp
+}
+
+type buildResp struct {
+	rs  *resultStream
+	err error
+}
+
+// isBuildStmt reports whether the statement is the daemon's BUILD TREE
+// command rather than engine SQL.
+func isBuildStmt(sql string) bool {
+	f := strings.Fields(strings.ToUpper(sql))
+	return len(f) >= 2 && f[0] == "BUILD" && f[1] == "TREE"
+}
+
+// parseBuild parses BUILD TREE [MAXDEPTH n] [MINROWS n] [WORKERS n]
+// [OUTPUT STATS|TREE|TRACE]. WORKERS is accepted for symmetry with the
+// middleware config but applies fleet-wide, so it must match the daemon's
+// configured worker count.
+func (d *Daemon) parseBuild(sql string) (*buildReq, error) {
+	f := strings.Fields(sql)
+	req := &buildReq{output: "stats", done: make(chan buildResp, 1)}
+	i := 2 // past BUILD TREE
+	intArg := func(kw string) (int64, error) {
+		if i >= len(f) {
+			return 0, fmt.Errorf("served: %s needs a value", kw)
+		}
+		n, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("served: bad %s value %q", kw, f[i])
+		}
+		i++
+		return n, nil
+	}
+	for i < len(f) {
+		kw := strings.ToUpper(f[i])
+		i++
+		switch kw {
+		case "MAXDEPTH":
+			n, err := intArg(kw)
+			if err != nil {
+				return nil, err
+			}
+			req.opt.MaxDepth = int(n)
+		case "MINROWS":
+			n, err := intArg(kw)
+			if err != nil {
+				return nil, err
+			}
+			req.opt.MinRows = n
+		case "WORKERS":
+			n, err := intArg(kw)
+			if err != nil {
+				return nil, err
+			}
+			if int(n) != d.cfg.Fleet.Base.Workers {
+				return nil, fmt.Errorf("served: WORKERS %d does not match the daemon's configured %d",
+					n, d.cfg.Fleet.Base.Workers)
+			}
+		case "OUTPUT":
+			if i >= len(f) {
+				return nil, fmt.Errorf("served: OUTPUT needs STATS, TREE or TRACE")
+			}
+			out := strings.ToLower(f[i])
+			i++
+			switch out {
+			case "stats", "tree", "trace":
+				req.output = out
+			default:
+				return nil, fmt.Errorf("served: unknown OUTPUT %q", f[i-1])
+			}
+		default:
+			return nil, fmt.Errorf("served: unknown BUILD TREE option %q", kw)
+		}
+	}
+	return req, nil
+}
+
+// serveBuild queues the build with the coordinator and waits for its result.
+func (d *Daemon) serveBuild(sql string) (*resultStream, error) {
+	req, err := d.parseBuild(sql)
+	if err != nil {
+		return nil, err
+	}
+	d.bmu.Lock()
+	if d.closed {
+		d.bmu.Unlock()
+		return nil, fmt.Errorf("served: daemon is draining")
+	}
+	d.bqueue = append(d.bqueue, req)
+	d.bcond.Broadcast()
+	d.bmu.Unlock()
+	resp := <-req.done
+	return resp.rs, resp.err
+}
+
+// buildLoop is the coordinator: it drains the build queue into fleet runs,
+// so builds that arrive while a run executes form the next run's cohort.
+func (d *Daemon) buildLoop() {
+	for {
+		d.bmu.Lock()
+		for len(d.bqueue) == 0 && !d.closed {
+			d.bcond.Wait()
+		}
+		if len(d.bqueue) == 0 && d.closed {
+			d.bmu.Unlock()
+			return
+		}
+		batch := d.bqueue
+		d.bqueue = nil
+		seq := d.runSeq
+		d.runSeq++
+		d.bmu.Unlock()
+		d.runFleet(batch, seq)
+	}
+}
+
+// runFleet executes one cohort of builds as a fleet run and answers every
+// request. The arrival schedule is virtual and seeded, so a cohort's results
+// do not depend on network timing.
+func (d *Daemon) runFleet(batch []*buildReq, seq int64) {
+	fail := func(err error) {
+		for _, r := range batch {
+			r.done <- buildResp{err: err}
+		}
+	}
+	wantTrace := false
+	for _, r := range batch {
+		if r.output == "trace" {
+			wantTrace = true
+		}
+	}
+	col := obs.NewCollector(wantTrace, false)
+
+	d.emu.Lock()
+	defer d.emu.Unlock()
+	fleet, err := NewFleet(d.srv, col, d.cfg.Fleet)
+	if err != nil {
+		fail(err)
+		return
+	}
+	arr := sim.Arrivals(d.cfg.Seed+seq, len(batch), d.cfg.MeanGapNS)
+	sessions := make([]*Session, len(batch))
+	for i, r := range batch {
+		s, err := fleet.Open("", r.opt, arr[i])
+		if err != nil {
+			fail(err)
+			return
+		}
+		sessions[i] = s
+	}
+	if err := fleet.Run(); err != nil {
+		fail(err)
+		return
+	}
+
+	var traceLines []string
+	if wantTrace {
+		var buf bytes.Buffer
+		if err := col.WriteTrace(&buf, "ndjson"); err != nil {
+			fail(err)
+			return
+		}
+		traceLines = strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	}
+	for i, r := range batch {
+		r.done <- buildResp{rs: buildResult(r, sessions[i], fleet, traceLines)}
+	}
+}
+
+// buildResult renders one session's outcome in the request's output shape.
+func buildResult(r *buildReq, s *Session, f *Fleet, traceLines []string) *resultStream {
+	switch r.output {
+	case "tree":
+		rs := &resultStream{cols: []string{"node"}}
+		for _, line := range s.Tree().DumpLines() {
+			rs.rows = append(rs.rows, []wire.Cell{{Str: true, S: line}})
+		}
+		return rs
+	case "trace":
+		// The trace covers the whole cohort: one proc per session, in
+		// session order. A single-session run's trace is exactly the
+		// in-process build's.
+		rs := &resultStream{cols: []string{"span"}}
+		for _, line := range traceLines {
+			rs.rows = append(rs.rows, []wire.Cell{{Str: true, S: line}})
+		}
+		return rs
+	default:
+		st := s.Tree().Stats()
+		rs := &resultStream{cols: []string{"stat", "value"}}
+		add := func(name string, v int64) {
+			rs.rows = append(rs.rows, []wire.Cell{{Str: true, S: name}, {I: v}})
+		}
+		add("session", int64(s.ID))
+		add("nodes", int64(st.Nodes))
+		add("leaves", int64(st.Leaves))
+		add("max_depth", int64(st.Depth))
+		add("arrival_ns", s.ArrivalNS())
+		add("latency_ns", s.LatencyNS())
+		add("server_pages", s.Meter().Count(sim.CtrServerPages))
+		add("shared_io_pages", f.IOMeter().Count(sim.CtrServerPages))
+		return rs
+	}
+}
+
+// unmarshal decodes a frame payload with a wire-level error message.
+func unmarshal(payload []byte, msg any) error {
+	return wire.Unmarshal(payload, msg)
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"database/sql"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	_ "repro/driver" // registers the ccsql database/sql driver
+	"repro/internal/dtree"
+	"repro/internal/mw"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// startDaemon serves a fresh census engine on a loopback port and returns
+// the address plus a shutdown func.
+func startDaemon(t *testing.T, rows, workers int, sharing bool) (string, func()) {
+	t.Helper()
+	srv := testServer(t, rows)
+	d := NewDaemon(srv, DaemonConfig{
+		Fleet: FleetConfig{Base: baseCfg(workers), MaxSessions: 8, ScanSharing: sharing},
+		Seed:  1,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		d.Drain(ln)
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// queryStrings runs one statement through the ccsql driver and returns the
+// first column of every row as strings.
+func queryStrings(t *testing.T, db *sql.DB, stmt string) []string {
+	t.Helper()
+	rows, err := db.Query(stmt)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var s string
+		if err := rows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// inProcessArm mirrors exactly what the daemon's fleet does for a solitary
+// session — a fresh virtual clock at the session's zero arrival, the
+// "session-1" observability proc, session id 1 — but drives the build with
+// the plain in-process dtree.Build API. Returns the tree and the ndjson
+// trace lines.
+func inProcessArm(t *testing.T, rows, workers int, opt dtree.Options) (*dtree.Tree, []string) {
+	t.Helper()
+	srv := testServer(t, rows)
+	meter := sim.NewMeter(srv.Meter().Costs())
+	col := obs.NewCollector(true, false)
+	tr, pm := col.Proc("session-1", meter)
+	cfg := baseCfg(workers)
+	cfg.Session = 1
+	cfg.Metrics = pm
+	m, err := mw.New(srv.View(meter, tr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tree, err := dtree.Build(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.WriteTrace(&buf, "ndjson"); err != nil {
+		t.Fatal(err)
+	}
+	return tree, strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+}
+
+// TestDaemonEquivalence: a build submitted over the wire through the stock
+// database/sql driver returns the byte-identical tree dump AND the
+// byte-identical execution trace of an in-process dtree.Build, at one and at
+// four workers.
+func TestDaemonEquivalence(t *testing.T) {
+	const rows = 1500
+	opt := dtree.Options{MaxDepth: 6, MinRows: 20}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			wantTree, wantTrace := inProcessArm(t, rows, workers, opt)
+
+			addr, stop := startDaemon(t, rows, workers, true)
+			defer stop()
+			db, err := sql.Open("ccsql", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			// One connection end to end: builds are serialized anyway, and a
+			// single conn exercises statement-after-statement reuse.
+			db.SetMaxOpenConns(1)
+
+			build := fmt.Sprintf("BUILD TREE MAXDEPTH %d MINROWS %d WORKERS %d OUTPUT ",
+				opt.MaxDepth, opt.MinRows, workers)
+			gotTree := queryStrings(t, db, build+"TREE")
+			if want := wantTree.DumpLines(); !equalLines(gotTree, want) {
+				t.Errorf("daemon tree differs from in-process build:\n%s\nwant:\n%s",
+					strings.Join(gotTree, "\n"), strings.Join(want, "\n"))
+			}
+
+			gotTrace := queryStrings(t, db, build+"TRACE")
+			if !equalLines(gotTrace, wantTrace) {
+				t.Errorf("daemon trace differs from in-process build: %d vs %d lines",
+					len(gotTrace), len(wantTrace))
+				for i := 0; i < len(gotTrace) && i < len(wantTrace); i++ {
+					if gotTrace[i] != wantTrace[i] {
+						t.Errorf("first divergence at line %d:\n got %s\nwant %s", i, gotTrace[i], wantTrace[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDaemonConcurrentClients: several clients submitting builds at once —
+// the scan-sharing cohort case — each still receive exactly the
+// single-tenant tree.
+func TestDaemonConcurrentClients(t *testing.T) {
+	const rows, clients = 1200, 4
+	opt := dtree.Options{MaxDepth: 6, MinRows: 20}
+	want, _ := inProcessArm(t, rows, 1, opt)
+	wantLines := want.DumpLines()
+
+	addr, stop := startDaemon(t, rows, 1, true)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			db, err := sql.Open("ccsql", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer db.Close()
+			rows, err := db.Query("BUILD TREE MAXDEPTH 6 MINROWS 20 OUTPUT TREE")
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+				return
+			}
+			defer rows.Close()
+			var got []string
+			for rows.Next() {
+				var s string
+				if err := rows.Scan(&s); err != nil {
+					errs <- err
+					return
+				}
+				got = append(got, s)
+			}
+			if err := rows.Err(); err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+				return
+			}
+			if !equalLines(got, wantLines) {
+				errs <- fmt.Errorf("client %d: tree differs from single-tenant build", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDriverSQL: plain SQL over the driver — streaming row batches, typed
+// scans, statement errors surfacing without killing the connection, and the
+// protocol's unsupported-features errors.
+func TestDriverSQL(t *testing.T) {
+	addr, stop := startDaemon(t, 1200, 1, false)
+	defer stop()
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM cases").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1200 {
+		t.Errorf("COUNT(*) = %d, want 1200", n)
+	}
+
+	// >BatchRows result rows stream across several RowBatch frames.
+	rows, err := db.Query("SELECT * FROM cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	for rows.Next() {
+		streamed++
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 1200 {
+		t.Errorf("streamed %d rows, want 1200", streamed)
+	}
+
+	// A bad statement is an error, and the connection stays usable.
+	if _, err := db.Query("SELECT * FROM nonexistent"); err == nil {
+		t.Error("want error for missing table")
+	}
+	if err := db.QueryRow("SELECT COUNT(*) FROM cases").Scan(&n); err != nil {
+		t.Errorf("connection unusable after statement error: %v", err)
+	}
+
+	if _, err := db.Begin(); err == nil {
+		t.Error("want error for transactions")
+	}
+	if _, err := db.Query("SELECT * FROM cases WHERE class = ?", 1); err == nil {
+		t.Error("want error for placeholder parameters")
+	}
+	if _, err := db.Query("BUILD TREE WORKERS 3"); err == nil ||
+		!strings.Contains(err.Error(), "WORKERS") {
+		t.Errorf("want WORKERS mismatch error, got %v", err)
+	}
+}
+
+// TestDaemonDrain: draining completes an in-flight statement, then refuses
+// new work and returns once every handler exits.
+func TestDaemonDrain(t *testing.T) {
+	srv := testServer(t, 800)
+	d := NewDaemon(srv, DaemonConfig{
+		Fleet: FleetConfig{Base: baseCfg(1), ScanSharing: true},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ln) }()
+
+	db, err := sql.Open("ccsql", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMaxOpenConns(1)
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM cases").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Drain(ln)
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after drain, want nil", err)
+	}
+	// The drained daemon's listener is gone; new dials fail.
+	if _, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+		t.Error("dial succeeded after drain")
+	}
+	db.Close()
+	// Drain is idempotent.
+	d.Drain(ln)
+}

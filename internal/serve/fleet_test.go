@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/mw"
+	"repro/internal/sim"
+)
+
+// testServer loads a census dataset into a fresh engine.
+func testServer(t *testing.T, rows int) *engine.Server {
+	t.Helper()
+	ds, err := datagen.GenerateCensus(datagen.CensusConfig{Seed: 7, Rows: rows}.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := engine.NewServer(engine.New(sim.NewDefaultMeter(), 0), "cases", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// soloBuild runs a plain single-tenant build on its own engine and returns
+// the tree.
+func soloBuild(t *testing.T, rows int, cfg mw.Config, opt dtree.Options) *dtree.Tree {
+	t.Helper()
+	srv := testServer(t, rows)
+	m, err := mw.New(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tree, err := dtree.Build(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func baseCfg(workers int) mw.Config {
+	return mw.Config{Staging: mw.StageFileAndMemory, Workers: workers}
+}
+
+var testOpt = dtree.Options{MaxDepth: 6, MinRows: 20}
+
+// runFleetN builds n identical sessions, all arriving at virtual zero, and
+// returns the finished fleet.
+func runFleetN(t *testing.T, srv *engine.Server, n int, cfg FleetConfig, opt dtree.Options) *Fleet {
+	t.Helper()
+	f, err := NewFleet(srv, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := f.Open("", opt, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFleetSingleSessionMatchesSolo: a one-session fleet is exactly a
+// single-tenant build — same tree, same modeled page reads.
+func TestFleetSingleSessionMatchesSolo(t *testing.T) {
+	const rows = 1500
+	solo := soloBuild(t, rows, baseCfg(1), testOpt)
+
+	srv := testServer(t, rows)
+	f := runFleetN(t, srv, 1, FleetConfig{Base: baseCfg(1), ScanSharing: true}, testOpt)
+	s := f.Sessions()[0]
+	if s.Tree() == nil {
+		t.Fatal("session has no tree")
+	}
+	if got, want := s.Tree().Dump(), solo.Dump(); got != want {
+		t.Errorf("fleet tree differs from solo build:\n%s\nwant:\n%s", got, want)
+	}
+	if f.IOMeter().Count(sim.CtrServerPages) != 0 {
+		t.Errorf("single session charged %d shared pages; sharing needs a cohort of 2",
+			f.IOMeter().Count(sim.CtrServerPages))
+	}
+	if f.TotalServerPages() == 0 {
+		t.Error("session charged no server pages")
+	}
+}
+
+// TestFleetScanSharingReducesPages: four concurrent same-table builds with
+// sharing on read fewer total pages than with sharing off, and every session
+// still gets the single-tenant tree.
+func TestFleetScanSharingReducesPages(t *testing.T) {
+	const rows, n = 1500, 4
+	solo := soloBuild(t, rows, baseCfg(1), testOpt)
+
+	off := runFleetN(t, testServer(t, rows),
+		n, FleetConfig{Base: baseCfg(1), ScanSharing: false}, testOpt)
+	on := runFleetN(t, testServer(t, rows),
+		n, FleetConfig{Base: baseCfg(1), ScanSharing: true}, testOpt)
+
+	for _, f := range []*Fleet{off, on} {
+		for _, s := range f.Sessions() {
+			if !dtree.Equal(s.Tree(), solo) {
+				t.Fatalf("session %d tree differs from the single-tenant build", s.ID)
+			}
+		}
+	}
+	if onP, offP := on.TotalServerPages(), off.TotalServerPages(); onP >= offP {
+		t.Errorf("scan sharing did not reduce pages: on=%d off=%d", onP, offP)
+	} else {
+		t.Logf("pages: sharing on %d, off %d (%.2fx)", onP, offP, float64(offP)/float64(onP))
+	}
+	if on.IOMeter().Count(sim.CtrServerPages) == 0 {
+		t.Error("sharing-on run charged no pages to the shared io meter")
+	}
+}
+
+// TestFleetSharingMatchesSerial: two concurrent sessions with different
+// options, sharing scans, produce exactly the trees serial solo runs produce.
+func TestFleetSharingMatchesSerial(t *testing.T) {
+	const rows = 1500
+	optA := dtree.Options{MaxDepth: 4, MinRows: 40}
+	optB := dtree.Options{MaxDepth: 6, MinRows: 10}
+	soloA := soloBuild(t, rows, baseCfg(1), optA)
+	soloB := soloBuild(t, rows, baseCfg(1), optB)
+
+	f, err := NewFleet(testServer(t, rows), nil, FleetConfig{Base: baseCfg(1), ScanSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := f.Open("a", optA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := f.Open("b", optB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !dtree.Equal(sa.Tree(), soloA) {
+		t.Error("session a: shared-scan tree differs from serial build")
+	}
+	if !dtree.Equal(sb.Tree(), soloB) {
+		t.Error("session b: shared-scan tree differs from serial build")
+	}
+}
+
+// TestFleetDeterminism: the same fleet configuration replayed twice yields
+// identical trees, clocks and page totals.
+func TestFleetDeterminism(t *testing.T) {
+	const rows, n = 1200, 3
+	run := func() *Fleet {
+		return runFleetN(t, testServer(t, rows),
+			n, FleetConfig{Base: baseCfg(2), TotalMemory: 1 << 20, ScanSharing: true}, testOpt)
+	}
+	a, b := run(), run()
+	if a.TotalServerPages() != b.TotalServerPages() {
+		t.Errorf("page totals differ across replays: %d vs %d", a.TotalServerPages(), b.TotalServerPages())
+	}
+	if a.MakespanNS() != b.MakespanNS() {
+		t.Errorf("makespans differ across replays: %d vs %d", a.MakespanNS(), b.MakespanNS())
+	}
+	for i := range a.Sessions() {
+		sa, sb := a.Sessions()[i], b.Sessions()[i]
+		if sa.Tree().Dump() != sb.Tree().Dump() {
+			t.Errorf("session %d trees differ across replays", sa.ID)
+		}
+		if sa.FinishNS() != sb.FinishNS() {
+			t.Errorf("session %d finish times differ: %d vs %d", sa.ID, sa.FinishNS(), sb.FinishNS())
+		}
+	}
+}
+
+// TestFleetAdmissionCap: with MaxSessions 1, sessions run strictly one after
+// another — no cohort ever forms, later sessions wait for the slot, and
+// finish times are strictly increasing.
+func TestFleetAdmissionCap(t *testing.T) {
+	const rows, n = 1200, 3
+	f := runFleetN(t, testServer(t, rows),
+		n, FleetConfig{Base: baseCfg(1), MaxSessions: 1, ScanSharing: true}, testOpt)
+	if got := f.IOMeter().Count(sim.CtrServerPages); got != 0 {
+		t.Errorf("capped fleet shared %d pages; sessions never overlap", got)
+	}
+	ss := f.Sessions()
+	for i := 1; i < len(ss); i++ {
+		if ss[i].FinishNS() <= ss[i-1].FinishNS() {
+			t.Errorf("session %d finished at %d, not after session %d at %d",
+				ss[i].ID, ss[i].FinishNS(), ss[i-1].ID, ss[i-1].FinishNS())
+		}
+		if ss[i].LatencyNS() <= ss[i-1].FinishNS()-ss[i].ArrivalNS()-1 {
+			t.Errorf("session %d latency %d does not include its admission wait", ss[i].ID, ss[i].LatencyNS())
+		}
+	}
+}
+
+// TestFleetStaggeredArrivals: a seeded arrival schedule is accepted and
+// arrival offsets show up in session latencies.
+func TestFleetStaggeredArrivals(t *testing.T) {
+	const rows, n = 1200, 3
+	srv := testServer(t, rows)
+	f, err := NewFleet(srv, nil, FleetConfig{Base: baseCfg(1), ScanSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := sim.Arrivals(42, n, 1_000_000)
+	for i := 0; i < n; i++ {
+		if _, err := f.Open("", testOpt, arr[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Out-of-order arrivals are rejected.
+	if _, err := f.Open("late", testOpt, arr[0]); err == nil && arr[n-1] > arr[0] {
+		t.Error("out-of-order arrival accepted")
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range f.Sessions()[:n] {
+		if s.ArrivalNS() != arr[i] {
+			t.Errorf("session %d arrival %d, want %d", s.ID, s.ArrivalNS(), arr[i])
+		}
+		if s.FinishNS() < s.ArrivalNS() {
+			t.Errorf("session %d finished before it arrived", s.ID)
+		}
+	}
+}
+
+// TestNewFleetValidation: scan sharing requires the columnar scan path.
+func TestNewFleetValidation(t *testing.T) {
+	srv := testServer(t, 200)
+	cases := []struct {
+		name string
+		cfg  FleetConfig
+		want string
+	}{
+		{"columnar-off", FleetConfig{Base: mw.Config{Columnar: mw.ColumnarOff}, ScanSharing: true}, "columnar"},
+		{"copy-table", FleetConfig{Base: mw.Config{Access: mw.AccessCopyTable}, ScanSharing: true}, "sequential"},
+		{"negative-memory", FleetConfig{TotalMemory: -1}, "negative"},
+		{"negative-cap", FleetConfig{MaxSessions: -1}, "negative"},
+	}
+	for _, tc := range cases {
+		if _, err := NewFleet(srv, nil, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}

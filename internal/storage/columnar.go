@@ -13,6 +13,19 @@ import (
 // the heap when the table is more than a couple of columns wide.
 const RowGroupSize = 4096
 
+// maxDictSize is the number of distinct values one group column can encode:
+// codes are uint16, so the dictionary may hold at most 1<<16 entries (codes
+// 0..65535). encodeGroup refuses larger dictionaries outright — truncating
+// would silently alias distinct values onto the same code.
+const maxDictSize = 1 << 16
+
+// Compile-time guard: a group holds at most RowGroupSize rows, so its
+// per-column dictionaries can never exceed RowGroupSize distinct values and
+// the uint16 code space is unreachable through Append/Group. Raising
+// RowGroupSize past maxDictSize would break that invariant and mis-encode
+// sealed groups; fail the build instead (negative array length).
+var _ [maxDictSize - RowGroupSize]struct{}
+
 // ColStore is a column-major, dictionary-encoded copy of a table kept
 // beside its row-major heap. Rows are appended in heap insertion order and
 // sealed into immutable row groups of RowGroupSize rows; the open tail is
@@ -117,7 +130,10 @@ type colVec struct {
 
 // encodeGroup dictionary-encodes n rows of column vectors. The dictionary
 // is built collect-then-sort — copy, sort, dedupe — so construction order
-// is deterministic without ever ranging a map.
+// is deterministic without ever ranging a map. A column whose distinct-value
+// count exceeds the uint16 code space (possible only for callers passing
+// n > RowGroupSize; sealed groups are bounded by the compile-time guard
+// above) panics rather than silently truncating codes.
 func encodeGroup(cols [][]data.Value, n int) *ColGroup {
 	g := &ColGroup{nrows: n, cols: make([]colVec, len(cols))}
 	scratch := make([]data.Value, n)
@@ -130,8 +146,8 @@ func encodeGroup(cols [][]data.Value, n int) *ColGroup {
 				dict = append(dict, v)
 			}
 		}
-		if len(dict) > 1<<16 {
-			panic("storage: column cardinality exceeds 16-bit dictionary codes")
+		if len(dict) > maxDictSize {
+			panic("storage: column cardinality exceeds 16-bit dictionary codes; shrink the group instead of truncating")
 		}
 		codes := make([]uint16, n)
 		counts := make([]int64, len(dict))

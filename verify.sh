@@ -38,6 +38,11 @@ gate "experiments -run skew -check" go run ./cmd/experiments -run skew -scale 0.
 # skipping), fewer everywhere (dictionary packing), never be slower, and
 # count identically.
 gate "experiments -run columnar -check" go run ./cmd/experiments -run columnar -scale 0.25 -check
+# Quarter-scale serve shape check: concurrent same-table builds with scan
+# sharing must read fewer total modeled pages than with sharing off (identical
+# at one client) and sharing must never slow makespan or per-session latency;
+# every session's tree is asserted identical to the single-tenant build.
+gate "experiments -run serve -check" go run ./cmd/experiments -run serve -scale 0.25 -check
 # Quarter-scale perf-regression gate: profiles the fixed scenario set on the
 # virtual clock and compares each condensed metric against the committed
 # baseline in BENCH_history.json within a 10% tolerance band. Virtual time is
