@@ -134,15 +134,18 @@ type rows struct {
 func (r *rows) Columns() []string { return r.cols }
 
 // Close drains any frames the caller has not consumed, so the connection is
-// immediately reusable for the next statement.
+// immediately reusable for the next statement. The stream is drained to its
+// end even when a statement error arrives mid-stream: returning early would
+// leave inRows set and poison the connection for every later statement.
 func (r *rows) Close() error {
+	var ferr error
 	for !r.done {
-		if err := r.fetch(); err != nil && err != io.EOF {
-			return err
+		if err := r.fetch(); err != nil && err != io.EOF && ferr == nil {
+			ferr = err
 		}
 	}
 	r.c.inRows = false
-	return nil
+	return ferr
 }
 
 // fetch reads the next frame of the stream into the batch buffer.

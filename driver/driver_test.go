@@ -1,0 +1,132 @@
+package ccsql
+
+import (
+	"database/sql"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fakeServer speaks just enough of the wire protocol to exercise the driver's
+// result-stream handling: every query answers with a one-row batch, and
+// queries containing "boom" end the stream with a statement error instead of
+// Done.
+func fakeServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				var hello wire.Hello
+				if err := wire.Expect(nc, wire.THello, &hello); err != nil {
+					return
+				}
+				if err := wire.WriteFrame(nc, wire.THelloAck, wire.HelloAck{Version: wire.Version, Table: "t"}); err != nil {
+					return
+				}
+				for {
+					typ, payload, err := wire.ReadFrame(nc)
+					if err != nil || typ == wire.TGoodbye {
+						return
+					}
+					if typ != wire.TQuery {
+						return
+					}
+					var q wire.Query
+					if err := wire.Unmarshal(payload, &q); err != nil {
+						return
+					}
+					wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"a"}})
+					wire.WriteFrame(nc, wire.TRowBatch, wire.RowBatch{Rows: [][]wire.Cell{{{I: 1}}}})
+					if strings.Contains(q.SQL, "boom") {
+						wire.WriteFrame(nc, wire.TError, wire.Error{Msg: "boom"})
+					} else {
+						wire.WriteFrame(nc, wire.TDone, wire.Done{Rows: 1})
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestConnReusableAfterStatementError pins the Rows.Close drain contract: a
+// statement error arriving mid-stream must still clear the connection's
+// in-rows state, so the next statement on the same connection runs instead
+// of failing with "connection busy". (Before the fix, Close returned early
+// on the TError frame and poisoned the connection.)
+func TestConnReusableAfterStatementError(t *testing.T) {
+	addr := fakeServer(t)
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// One pooled connection, so the second statement must reuse the first's.
+	db.SetMaxOpenConns(1)
+
+	rows, err := db.Query("SELECT boom")
+	if err != nil {
+		t.Fatalf("query start: %v", err)
+	}
+	for rows.Next() {
+		var v int64
+		if err := rows.Scan(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rows.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("rows.Err() = %v, want the boom statement error", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("rows.Close: %v", err)
+	}
+
+	got := 0
+	rows2, err := db.Query("SELECT ok")
+	if err != nil {
+		t.Fatalf("second query on the same connection: %v", err)
+	}
+	defer rows2.Close()
+	for rows2.Next() {
+		got++
+	}
+	if err := rows2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("second query returned %d rows, want 1", got)
+	}
+}
+
+// TestCloseReportsStatementError pins that an undrained result set closed
+// early still surfaces the statement error while leaving the connection
+// reusable.
+func TestCloseReportsStatementError(t *testing.T) {
+	addr := fakeServer(t)
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	// Exec drains via rows.Close without reading any row first.
+	if _, err := db.Exec("SELECT boom"); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("exec error = %v, want boom", err)
+	}
+	if _, err := db.Exec("SELECT ok"); err != nil {
+		t.Fatalf("connection not reusable after drained statement error: %v", err)
+	}
+}

@@ -20,6 +20,16 @@
 //     released on all paths
 //   - noreentrancy: no Meter.Charge from inside a ChargeObserver callback
 //     chain
+//   - gohandoff:    obligations captured by `go` statements are released
+//     inside the goroutine on all paths
+//
+// The obligation analyzers are interprocedural within the module: a
+// fixed-point summary pass (summary.go) computes, per function, which
+// parameters' obligations it always / conditionally / never releases and
+// which results carry fresh obligations, and the engine consults those
+// summaries at call sites instead of treating every call as an ownership
+// hand-off. An intentional ownership transfer the summaries cannot see is
+// annotated //repolint:owner with a justification.
 //
 // A justified exception is annotated with a directive comment on the
 // flagged line or the line above:
@@ -36,6 +46,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check that runs over a type-checked package.
@@ -50,6 +61,11 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	// Chain is the callee chain for interprocedural findings (outermost
+	// callee first), empty for local ones. The chain is already rendered
+	// into Message; it is carried separately for structured (-json) output.
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
@@ -70,11 +86,21 @@ type Pass struct {
 
 	pkg   *Package
 	diags *[]Diagnostic
+
+	// index is the whole-module function index the obligation analyzers
+	// consult for interprocedural summaries; nil when running without one
+	// (unit tests over a single synthetic pass).
+	index *ModuleIndex
 }
 
 // Reportf records a diagnostic at pos unless a //repolint:<analyzer>
 // directive on the same line (or the line above) justifies the site.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// report is Reportf carrying a callee chain for structured output.
+func (p *Pass) report(pos token.Pos, chain []string, format string, args ...any) {
 	if p.Directive(pos, p.Analyzer.Name) {
 		return
 	}
@@ -82,6 +108,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -131,22 +158,80 @@ func Analyzers() []*Analyzer {
 		ForkjoinAnalyzer,
 		CloserAnalyzer,
 		NoreentrancyAnalyzer,
+		GohandoffAnalyzer,
 	}
+}
+
+// Timing is one phase's wall-clock cost in a suite run.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// SuiteResult is the outcome of RunSuite: the sorted findings plus the
+// wall-time and coverage figures cmd/repolint and verify.sh report.
+type SuiteResult struct {
+	Diags   []Diagnostic
+	Timings []Timing    // "(summaries)" first, then one entry per analyzer
+	Stats   ModuleStats // module summary coverage
 }
 
 // Run loads the packages matching patterns (relative to dir) and applies
 // every analyzer, returning the surviving diagnostics sorted by position.
 func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	res, err := RunSuite(dir, analyzers, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunSuite is Run with per-phase wall times and module coverage statistics.
+func RunSuite(dir string, analyzers []*Analyzer, patterns ...string) (*SuiteResult, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	return RunPackages(pkgs, analyzers), nil
+	res := &SuiteResult{}
+
+	// Build the module index and force the summary fixed points up front so
+	// their cost is attributed to one "(summaries)" phase instead of the
+	// first analyzer that happens to trigger them.
+	start := time.Now() //repolint:determinism wall-time measurement of the linter itself, never in output ordering
+	idx := NewModuleIndex(pkgs)
+	for _, rules := range obligationRuleSets() {
+		idx.summaries(rules)
+	}
+	res.Timings = append(res.Timings, Timing{Name: "(summaries)", Elapsed: time.Since(start)}) //repolint:determinism wall-time measurement of the linter itself
+
+	for _, a := range analyzers {
+		start := time.Now() //repolint:determinism wall-time measurement of the linter itself
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Module:   pkg.Module,
+				pkg:      pkg,
+				diags:    &res.Diags,
+				index:    idx,
+			}
+			a.Run(pass)
+		}
+		res.Timings = append(res.Timings, Timing{Name: a.Name, Elapsed: time.Since(start)}) //repolint:determinism wall-time measurement of the linter itself
+	}
+	sortDiags(res.Diags)
+	res.Stats = idx.Stats()
+	return res, nil
 }
 
-// RunPackages applies every analyzer to every already-loaded package.
+// RunPackages applies every analyzer to every already-loaded package, with
+// a shared module index for interprocedural summaries.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	idx := NewModuleIndex(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -158,10 +243,22 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Module:   pkg.Module,
 				pkg:      pkg,
 				diags:    &diags,
+				index:    idx,
 			}
 			a.Run(pass)
 		}
 	}
+	sortDiags(diags)
+	return diags
+}
+
+// obligationRuleSets lists the rule sets that have summary tables, in the
+// order their fixed points are computed.
+func obligationRuleSets() []*obRules {
+	return []*obRules{spanendRules(), forkjoinRules(), closerRules()}
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -175,7 +272,6 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // pkgBase returns the last element of a package path ("repro/internal/obs"

@@ -30,7 +30,14 @@ var closerReleases = map[string]bool{
 }
 
 func runCloser(p *Pass) {
-	rules := &obRules{
+	runObligations(p, closerRules())
+}
+
+// closerRules is the closer obligation rule set, shared with the summary
+// layer and the gohandoff analyzer.
+func closerRules() *obRules {
+	return &obRules{
+		name:        "closer",
 		leakVerb:    "released (Close/Finish/Abort)",
 		releaseRecv: closerReleases,
 		acquire: func(p *Pass, call *ast.CallExpr) (string, []int, bool) {
@@ -52,8 +59,8 @@ func runCloser(p *Pass) {
 			}
 			return desc, idxs, true
 		},
+		paramType: resourceType,
 	}
-	runObligations(p, rules)
 }
 
 // acquisitiveName reports whether the callee name is constructor-shaped:

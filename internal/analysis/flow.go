@@ -1,39 +1,88 @@
 package analysis
 
 // This file implements the shared obligation analysis behind the spanend,
-// forkjoin and closer analyzers: a value acquired at some call site (an obs
-// span, a slice of forked lane meters, a cursor or staging writer) carries an
-// obligation — End the span, Join the lanes, Close the resource — that must
-// be discharged on every path out of the acquiring function.
+// forkjoin, closer and gohandoff analyzers: a value acquired at some call
+// site (an obs span, a slice of forked lane meters, a cursor or staging
+// writer) carries an obligation — End the span, Join the lanes, Close the
+// resource — that must be discharged on every path out of the acquiring
+// function.
 //
 // The walker is a small abstract interpreter over the AST, path-sensitive
-// across if/switch/select arms, and deliberately permissive about ownership
-// transfer: an obligation that is deferred, captured by a closure, stored in
-// a struct or slice, passed to another function or returned is treated as
-// handed off and is not tracked further. That keeps false positives near zero
-// — the property a CI gate needs — at the cost of missing exotic leaks.
+// across if/switch/select arms. Ownership transfer is resolved against the
+// module's function summaries (summary.go) where possible: passing an
+// obligation to an always-releasing helper discharges it, passing to a
+// never- or conditionally-releasing helper keeps it tracked here (the leak
+// is reported at the acquirer with the callee chain), and a call whose
+// summarized results carry fresh obligations is itself an acquire site. Where
+// no summary exists (stdlib, indirect calls, escapes into structs or
+// globals) the engine stays deliberately permissive: the obligation is
+// treated as handed off and is not tracked further, keeping false positives
+// near zero — the property a CI gate needs.
+//
+// The same engine runs in four modes:
+//
+//   - modeAnalyze:   the analyzers' normal walk; leaks report at acquire sites
+//   - modeSummary:   computes a FuncSummary for one function (no reporting)
+//   - modeGoHandoff: the gohandoff analyzer's walk — obligations captured by
+//     `go` statements are borrow-checked against the goroutine body instead
+//     of being handed off, and only goroutine-capture leaks report
+//   - modeGoCheck:   the nested walk over one goroutine body deciding
+//     whether it releases a captured obligation on all paths
+//
 // The analysis proceeds in three phases per function literal or declaration:
 //
 //  1. collect obligations: simple assignments whose right-hand side is (or
-//     chains from) an acquiring call;
+//     chains from) an acquiring call — intrinsic to the rule set or a call
+//     whose summary returns fresh obligations;
 //  2. escape scan: drop obligations that are deferred-released, captured by a
 //     nested function literal, or transferred out of the function;
 //  3. path walk: simulate the statement list, forking the environment at
-//     branches, discharging obligations at release calls, and reporting any
-//     obligation still open when a path exits the function.
+//     branches, discharging obligations at release calls and summarized
+//     always-releasing callees, and reporting any obligation still open when
+//     a path exits the function.
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
+)
+
+// flowMode selects the engine's behavior (see the package comment above).
+type flowMode int
+
+const (
+	modeAnalyze flowMode = iota
+	modeSummary
+	modeGoHandoff
+	modeGoCheck
+)
+
+// escKind classifies one use of a tracked variable.
+type escKind int
+
+const (
+	escNone      escKind = iota // the use keeps the obligation in hand
+	escHandoff                  // ownership transfers beyond this analysis
+	escGoroutine                // captured by (or passed into) a `go` statement
 )
 
 // obRules parameterizes the obligation engine for one analyzer.
 type obRules struct {
+	// name keys this rule set's summary table in the ModuleIndex; empty
+	// disables summary consults.
+	name string
+
 	// acquire reports whether call creates obligations, which of the call's
 	// result indices carry them, and a short description for diagnostics.
 	acquire func(p *Pass, call *ast.CallExpr) (desc string, idxs []int, ok bool)
+
+	// paramType reports whether a parameter (or result) type can carry this
+	// rule set's obligation, with the description used in diagnostics. The
+	// summary layer seeds matching parameters as obligations.
+	paramType func(p *Pass, t types.Type) (string, bool)
 
 	// releaseRecv holds method names that discharge the obligation when
 	// invoked with the obligation value as the root of the receiver chain
@@ -64,29 +113,52 @@ type obRules struct {
 
 // obligation is one tracked acquisition.
 type obligation struct {
-	v    *types.Var
-	pos  token.Pos // acquire call position, where leaks are reported
-	desc string
-	recv string // receiver expression of the acquiring call ("m.meter")
+	v     *types.Var
+	pos   token.Pos // acquire call position, where leaks are reported
+	desc  string
+	recv  string // receiver expression of the acquiring call ("m.meter")
+	param int    // parameter index in summary mode, -1 for acquired values
 
 	// errVar is the error sibling of a `v, err := acquire()` form, if any: on
 	// a path guarded by `err != nil` the acquisition failed and v carries no
 	// obligation. Cleared per path once errVar is reassigned.
 	errVar *types.Var
+
+	// chain is the callee chain explaining why a hand-off attempt did not
+	// discharge the obligation ("interproc.forwardLeak -> interproc.logSpan");
+	// chainRel records whether the chain's end never releases or only
+	// conditionally releases. The first recorded chain wins (walk order is
+	// deterministic).
+	chain    []string
+	chainRel relStatus
+
+	// goPos is the `go` statement that captured the obligation without an
+	// in-goroutine release (modeGoHandoff); leaks report there.
+	goPos token.Pos
 }
 
 // runObligations applies the rules to every function declaration and function
-// literal in the package.
+// literal in the package, in the analyzers' normal reporting mode.
 func runObligations(p *Pass, rules *obRules) {
+	runObligationsMode(p, rules, modeAnalyze)
+}
+
+// runObligationsMode is runObligations with an explicit engine mode
+// (gohandoff re-runs the rule sets in modeGoHandoff).
+func runObligationsMode(p *Pass, rules *obRules, mode flowMode) {
+	var sums map[string]*FuncSummary
+	if p.index != nil {
+		sums = p.index.summaries(rules)
+	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					analyzeFuncBody(p, rules, fn.Body)
+					analyzeFuncBody(p, rules, fn.Body, mode, sums)
 				}
 			case *ast.FuncLit:
-				analyzeFuncBody(p, rules, fn.Body)
+				analyzeFuncBody(p, rules, fn.Body, mode, sums)
 			}
 			return true
 		})
@@ -95,9 +167,10 @@ func runObligations(p *Pass, rules *obRules) {
 
 // obState is one obligation's status on the current path.
 type obState struct {
-	ob       *obligation
-	released bool
-	errStale bool // the error sibling was reassigned; nil-checks no longer vouch
+	ob          *obligation
+	released    bool
+	releasedAny bool // released on some merged-away path, or conditionally by a callee
+	errStale    bool // the error sibling was reassigned; nil-checks no longer vouch
 }
 
 type obEnv map[*types.Var]*obState
@@ -105,7 +178,7 @@ type obEnv map[*types.Var]*obState
 func (e obEnv) clone() obEnv {
 	out := make(obEnv, len(e))
 	for v, s := range e { //repolint:ordered environment copy is order-independent
-		out[v] = &obState{ob: s.ob, released: s.released, errStale: s.errStale}
+		out[v] = &obState{ob: s.ob, released: s.released, releasedAny: s.releasedAny, errStale: s.errStale}
 	}
 	return out
 }
@@ -117,22 +190,32 @@ type flowAnalysis struct {
 	body     *ast.BlockStmt
 	tracked  map[*types.Var]*obligation
 	reported map[*types.Var]bool
+
+	mode flowMode
+	idx  *ModuleIndex
+	sums map[string]*FuncSummary // summaries for rules.name, nil without an index
+	sb   *summaryBuilder         // modeSummary accumulator
+
+	goFail bool // modeGoCheck: some goroutine path left the obligation open
 }
 
-func analyzeFuncBody(p *Pass, rules *obRules, body *ast.BlockStmt) {
+func analyzeFuncBody(p *Pass, rules *obRules, body *ast.BlockStmt, mode flowMode, sums map[string]*FuncSummary) {
 	fa := &flowAnalysis{
 		p:        p,
 		rules:    rules,
 		body:     body,
 		tracked:  map[*types.Var]*obligation{},
 		reported: map[*types.Var]bool{},
+		mode:     mode,
+		idx:      p.index,
+		sums:     sums,
 	}
 	fa.collectObligations()
 	if len(fa.tracked) == 0 {
 		return
 	}
 	fa.dropEscapes()
-	if len(fa.tracked) == 0 && rules.onOpenCall == nil {
+	if len(fa.tracked) == 0 && (rules.onOpenCall == nil || mode != modeAnalyze) {
 		return
 	}
 	env := obEnv{}
@@ -143,6 +226,39 @@ func analyzeFuncBody(p *Pass, rules *obRules, body *ast.BlockStmt) {
 }
 
 // ---- phase 1: collect obligations --------------------------------------
+
+// acquire reports whether call creates obligations: intrinsically per the
+// rule set, or because the callee's summary marks result indices as carrying
+// fresh obligations (a constructor wrapping an acquire).
+func (fa *flowAnalysis) acquire(call *ast.CallExpr) (string, []int, bool) {
+	if desc, idxs, ok := fa.rules.acquire(fa.p, call); ok {
+		return desc, idxs, ok
+	}
+	if fa.sums == nil {
+		return "", nil, false
+	}
+	f := calleeFunc(fa.p.Info, call)
+	if f == nil {
+		return "", nil, false
+	}
+	sum := fa.sums[f.FullName()]
+	if sum == nil {
+		return "", nil, false
+	}
+	var idxs []int
+	var desc string
+	for i, r := range sum.Results {
+		if r.Fresh {
+			idxs = append(idxs, i)
+			desc = r.Desc
+		}
+	}
+	if len(idxs) == 0 {
+		return "", nil, false
+	}
+	fa.countCross()
+	return desc, idxs, true
+}
 
 // collectObligations finds simple assignments binding an acquiring call (or a
 // setter chain rooted at one) to a local variable, plus acquiring calls whose
@@ -179,7 +295,7 @@ func (fa *flowAnalysis) collectAssign(lhs, rhs []ast.Expr) {
 		if !ok {
 			return
 		}
-		desc, idxs, ok := fa.rules.acquire(fa.p, call)
+		desc, idxs, ok := fa.acquire(call)
 		if !ok {
 			return
 		}
@@ -227,14 +343,16 @@ func (fa *flowAnalysis) track(target ast.Expr, call *ast.CallExpr, desc string) 
 		return nil
 	}
 	if id.Name == "_" {
-		fa.p.Reportf(call.Pos(), "%s is discarded without being %s", desc, fa.rules.leakVerb)
+		if fa.mode == modeAnalyze {
+			fa.p.Reportf(call.Pos(), "%s is discarded without being %s", desc, fa.rules.leakVerb)
+		}
 		return nil
 	}
 	v := fa.objectOf(id)
 	if v == nil {
 		return nil
 	}
-	ob := &obligation{v: v, pos: call.Pos(), desc: desc, recv: recvExprString(call)}
+	ob := &obligation{v: v, pos: call.Pos(), desc: desc, recv: recvExprString(call), param: -1}
 	fa.tracked[v] = ob
 	return ob
 }
@@ -257,7 +375,7 @@ func (fa *flowAnalysis) acquireChainRoot(expr ast.Expr) (*ast.CallExpr, string, 
 	if !ok {
 		return nil, "", false
 	}
-	if desc, idxs, ok := fa.rules.acquire(fa.p, call); ok {
+	if desc, idxs, ok := fa.acquire(call); ok {
 		if len(idxs) == 1 && idxs[0] == 0 {
 			return call, desc, true
 		}
@@ -278,6 +396,9 @@ func (fa *flowAnalysis) acquireChainRoot(expr ast.Expr) (*ast.CallExpr, string, 
 // checkDiscarded reports an acquiring chain whose result is dropped on the
 // floor as a bare expression statement without an in-chain release.
 func (fa *flowAnalysis) checkDiscarded(expr ast.Expr) {
+	if fa.mode != modeAnalyze {
+		return
+	}
 	call, desc, ok := fa.acquireChainRoot(expr)
 	if ok {
 		fa.p.Reportf(call.Pos(), "%s is discarded without being %s", desc, fa.rules.leakVerb)
@@ -288,9 +409,11 @@ func (fa *flowAnalysis) checkDiscarded(expr ast.Expr) {
 
 // dropEscapes untracks obligations that are discharged for every path at once
 // (defer v.End()) or whose ownership leaves the function (captured by a
-// closure, stored, passed along, returned).
+// closure, stored, passed to an unsummarized function, returned). Summary
+// mode records the escape kind instead of just forgetting it, and
+// modeGoHandoff keeps goroutine captures tracked for the borrow check.
 func (fa *flowAnalysis) dropEscapes() {
-	escaped := map[*types.Var]bool{}
+	drop := map[*types.Var]bool{}
 	var stack []ast.Node
 	ast.Inspect(fa.body, func(n ast.Node) bool {
 		if n == nil {
@@ -306,28 +429,53 @@ func (fa *flowAnalysis) dropEscapes() {
 		if !ok {
 			return true
 		}
-		if _, tracked := fa.tracked[v]; !tracked {
+		ob, tracked := fa.tracked[v]
+		if !tracked {
 			return true
 		}
-		if fa.useEscapes(stack, id) {
-			escaped[v] = true
+		switch fa.useEscapes(stack, id) {
+		case escNone:
+		case escHandoff:
+			if fa.mode == modeSummary && ob.param >= 0 {
+				if acc := fa.sb.params[v]; acc != nil {
+					acc.escaped = true
+				}
+			}
+			drop[v] = true
+		case escGoroutine:
+			switch fa.mode {
+			case modeSummary:
+				if ob.param >= 0 {
+					if acc := fa.sb.params[v]; acc != nil {
+						acc.goroutine = true
+					}
+				}
+				drop[v] = true
+			case modeGoHandoff:
+				// Kept: the GoStmt walk decides borrow vs leak.
+			default:
+				drop[v] = true
+			}
 		}
 		return true
 	})
-	for v := range escaped { //repolint:ordered map removal is order-independent
+	for v := range drop { //repolint:ordered map removal is order-independent
 		delete(fa.tracked, v)
 	}
 }
 
 // useEscapes classifies one use of a tracked variable given its ancestor
-// stack (outermost first, the identifier last). It returns true when the use
-// transfers the obligation out of this function's path analysis.
-func (fa *flowAnalysis) useEscapes(stack []ast.Node, id *ast.Ident) bool {
-	// A use inside a nested function literal: the closure may (and in this
-	// codebase does, e.g. deferred cleanups) release it — hand off.
-	for _, n := range stack[:len(stack)-1] {
+// stack (outermost first, the identifier last).
+func (fa *flowAnalysis) useEscapes(stack []ast.Node, id *ast.Ident) escKind {
+	// A use inside a nested function literal: a plain closure may (and in
+	// this codebase does, e.g. deferred cleanups) release it — hand off. A
+	// literal launched by a `go` statement is a goroutine capture.
+	for j, n := range stack[:len(stack)-1] {
 		if _, ok := n.(*ast.FuncLit); ok {
-			return true
+			if isGoLit(stack, j) {
+				return escGoroutine
+			}
+			return escHandoff
 		}
 	}
 	// Walk outward past wrappers that keep the value in hand.
@@ -342,63 +490,161 @@ func (fa *flowAnalysis) useEscapes(stack []ast.Node, id *ast.Ident) bool {
 		case *ast.SelectorExpr:
 			// v.Method or v.Field read: stay.
 			if parent.X == child {
-				return false
+				return escNone
 			}
-			return true
+			return escHandoff
 		case *ast.IndexExpr:
 			// v[i] element read does not move the slice's obligation.
 			if parent.X == child {
-				return false
+				return escNone
 			}
-			return true // used as an index: impossible for our types, bail out
+			return escHandoff // used as an index: impossible for our types, bail out
 		case *ast.SliceExpr:
 			// v[lo:hi] re-slices alias the backing array — hand off.
-			return true
+			return escHandoff
 		case *ast.CallExpr:
 			if fun, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok && fa.isBuiltin(fun) {
 				if fun.Name == "len" || fun.Name == "cap" {
-					return false
+					return escNone
 				}
-				return true // append, copy, ...: hand off
+				return escHandoff // append, copy, ...: hand off
 			}
 			// Argument of a release-by-argument call keeps the obligation
-			// here (the release is what the path walk looks for); any other
-			// argument position transfers it, unless whitelisted.
+			// here (the release is what the path walk looks for); so does a
+			// whitelisted read-only callee.
 			if fa.isReleaseArgCall(parent) {
-				return false
+				return escNone
 			}
 			if fa.rules.keepArg != nil && fa.rules.keepArg(fa.p, parent) {
-				return false
+				return escNone
 			}
-			return true
+			// go helper(v): the GoStmt walk decides what the goroutine does.
+			if i > 0 {
+				if g, ok := stack[i-1].(*ast.GoStmt); ok && g.Call == parent {
+					return escGoroutine
+				}
+			}
+			// A summarized callee that releases (or visibly leaks) keeps the
+			// obligation under this function's analysis; anything else is an
+			// ownership hand-off.
+			if fa.argSummaryKeeps(parent, child) {
+				return escNone
+			}
+			return escHandoff
 		case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt:
-			return false // comparisons and conditions read, never transfer
+			return escNone // comparisons and conditions read, never transfer
 		case *ast.RangeStmt:
-			return parent.X != child // ranging over v reads it
+			if parent.X != child {
+				return escHandoff
+			}
+			return escNone // ranging over v reads it
 		case *ast.AssignStmt:
 			for _, r := range parent.Rhs {
 				if ast.Unparen(r) == child {
-					return true // aliased into another variable or location
+					return escHandoff // aliased into another variable or location
 				}
 			}
-			return false // left-hand side or part of a larger expression
-		case *ast.ValueSpec, *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr,
+			return escNone // left-hand side or part of a larger expression
+		case *ast.ReturnStmt:
+			return escHandoff
+		case *ast.ValueSpec, *ast.CompositeLit, *ast.KeyValueExpr,
 			*ast.SendStmt, *ast.UnaryExpr, *ast.StarExpr, *ast.GoStmt:
-			return true
+			return escHandoff
 		case *ast.DeferStmt:
 			// defer v.Release() discharges on every exit; checked below via
 			// the deferred call itself. A defer that does not release keeps
 			// the obligation open, but reporting through an unrelated defer
 			// would be noise — hand off.
-			return !fa.deferReleases(parent, id)
+			if fa.deferReleases(parent, id) {
+				return escNone
+			}
+			return escHandoff
 		case *ast.ExprStmt, *ast.BlockStmt, *ast.CaseClause, *ast.CommClause,
 			*ast.IncDecStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
-			return false
+			return escNone
 		default:
-			return true // unanticipated context: be permissive, hand off
+			return escHandoff // unanticipated context: be permissive, hand off
 		}
 	}
-	return false
+	return escNone
+}
+
+// isGoLit reports whether stack[j] is a function literal immediately invoked
+// by a `go` statement (go func(...){...}(...)).
+func isGoLit(stack []ast.Node, j int) bool {
+	if j < 2 {
+		return false
+	}
+	lit, ok := stack[j].(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	call, ok := stack[j-1].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != ast.Node(lit) {
+		return false
+	}
+	g, ok := stack[j-2].(*ast.GoStmt)
+	return ok && g.Call == call
+}
+
+// argSummaryKeeps reports whether passing child as an argument of call keeps
+// the obligation tracked here: the callee has a summary for that parameter
+// that either always releases it (the path walk will discharge it at the
+// call) or visibly fails to (the leak reports at this function's acquirer
+// with the callee chain). An //repolint:owner directive at the call site
+// forces the old hand-off reading.
+func (fa *flowAnalysis) argSummaryKeeps(call *ast.CallExpr, child ast.Node) bool {
+	if fa.sums == nil {
+		return false
+	}
+	f := calleeFunc(fa.p.Info, call)
+	if f == nil {
+		return false
+	}
+	sum := fa.sums[f.FullName()]
+	if sum == nil {
+		return false
+	}
+	if fa.p.Directive(call.Pos(), "owner") {
+		return false
+	}
+	k := -1
+	for i, a := range call.Args {
+		if a == child || ast.Unparen(a) == child {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return false
+	}
+	pidx := summaryParamIndex(f, sum, k)
+	if pidx < 0 {
+		return false
+	}
+	ps := sum.Params[pidx]
+	return ps.Tracked && !ps.Escapes && !ps.Goroutine
+}
+
+// summaryParamIndex maps a call-argument index onto the flattened parameter
+// index of the callee's summary (receiver at 0 for methods, variadic tail
+// collapsed onto the last parameter), or -1.
+func summaryParamIndex(f *types.Func, sum *FuncSummary, k int) int {
+	sig := funcSignature(f)
+	if sig == nil {
+		return -1
+	}
+	pidx := k
+	if sig.Recv() != nil {
+		pidx++
+	}
+	if pidx >= len(sum.Params) {
+		if sig.Variadic() && len(sum.Params) > 0 {
+			return len(sum.Params) - 1
+		}
+		return -1
+	}
+	return pidx
 }
 
 // deferReleases reports whether the deferred call discharges the identifier's
@@ -488,6 +734,9 @@ func (fa *flowAnalysis) walkStmt(st ast.Stmt, env obEnv) bool {
 		for _, r := range s.Results {
 			fa.scanExpr(r, env)
 		}
+		if fa.mode == modeSummary {
+			fa.recordReturn(s, env)
+		}
 		fa.checkExit(env, s.Pos())
 		return true
 	case *ast.IfStmt:
@@ -497,9 +746,9 @@ func (fa *flowAnalysis) walkStmt(st ast.Stmt, env obEnv) bool {
 		fa.scanExpr(s.Cond, env)
 		thenEnv := env.clone()
 		elseEnv := env.clone()
-		// `if err != nil` guards the acquisition-failed path: sibling
-		// obligations from `v, err := acquire()` never came alive there.
 		if v, nonNilIsThen := fa.nilCheckVar(s.Cond); v != nil {
+			// `if err != nil` guards the acquisition-failed path: sibling
+			// obligations from `v, err := acquire()` never came alive there.
 			guarded := elseEnv
 			if nonNilIsThen {
 				guarded = thenEnv
@@ -508,6 +757,16 @@ func (fa *flowAnalysis) walkStmt(st ast.Stmt, env obEnv) bool {
 				if st.ob.errVar == v && !st.errStale {
 					st.released = true
 				}
+			}
+			// `if v != nil { v.Close() }` over the obligation value itself:
+			// on the nil branch there is nothing to release — the release is
+			// vacuously satisfied there.
+			nilEnv := thenEnv
+			if nonNilIsThen {
+				nilEnv = elseEnv
+			}
+			if st, ok := nilEnv[v]; ok {
+				st.released = true
 			}
 		}
 		thenTerm := fa.walkStmts(s.Body.List, thenEnv)
@@ -566,13 +825,29 @@ func (fa *flowAnalysis) walkStmt(st ast.Stmt, env obEnv) bool {
 				}
 			}
 		}
+		// defer helper(v) with an always-releasing helper discharges too;
+		// conditional or never-releasing helpers keep the obligation open
+		// and the consult records the callee chain.
+		fa.consultCall(s.Call, env)
 		for _, a := range s.Call.Args {
 			fa.scanExpr(a, env)
 		}
 		return false
 	case *ast.GoStmt:
+		// go m.Join(lanes) / go sp.End(): an asynchronous release still
+		// reaches the release method — count it.
+		for _, rid := range fa.releasedBy(s.Call) {
+			if v, ok := fa.p.Info.Uses[rid].(*types.Var); ok {
+				if st, tracked := env[v]; tracked {
+					st.released = true
+				}
+			}
+		}
 		for _, a := range s.Call.Args {
 			fa.scanExpr(a, env)
+		}
+		if fa.mode == modeGoHandoff {
+			fa.checkGoStmt(s, env)
 		}
 		return false
 	case *ast.BranchStmt:
@@ -666,6 +941,7 @@ func mergeEnvs(env obEnv, branches []obEnv, terminated []bool) bool {
 		// acquire+release wholly inside a loop body from reading as open on
 		// the zero-iteration path).
 		releasedAll := true
+		releasedAny := false
 		stale := false
 		for i, b := range branches {
 			if terminated[i] {
@@ -675,12 +951,15 @@ func mergeEnvs(env obEnv, branches []obEnv, terminated []bool) bool {
 				if !s.released {
 					releasedAll = false
 				}
+				if s.released || s.releasedAny {
+					releasedAny = true
+				}
 				if s.errStale {
 					stale = true
 				}
 			}
 		}
-		env[v] = &obState{ob: ob, released: releasedAll, errStale: stale}
+		env[v] = &obState{ob: ob, released: releasedAll, releasedAny: releasedAny, errStale: stale}
 	}
 	return false
 }
@@ -763,11 +1042,10 @@ func (fa *flowAnalysis) openAssigned(lhs, rhs []ast.Expr, env obEnv) {
 		if !ok {
 			return
 		}
-		desc, idxs, ok := fa.rules.acquire(fa.p, call)
+		_, idxs, ok := fa.acquire(call)
 		if !ok {
 			return
 		}
-		_ = desc
 		for _, i := range idxs {
 			if i < len(lhs) {
 				if id, ok := ast.Unparen(lhs[i]).(*ast.Ident); ok {
@@ -797,9 +1075,42 @@ func (fa *flowAnalysis) openAssigned(lhs, rhs []ast.Expr, env obEnv) {
 	}
 }
 
-// scanExpr processes one expression on the current path: applies releases,
-// then lets the analyzer observe remaining open calls. Nested function
-// literals are opaque (analyzed separately).
+// recordReturn (summary mode) marks result indices whose returned value
+// carries an open obligation acquired inside this function: the function is
+// a constructor and its callers inherit the obligation.
+func (fa *flowAnalysis) recordReturn(s *ast.ReturnStmt, env obEnv) {
+	if len(s.Results) == 1 {
+		// A lone call expression forwards all of the callee's results.
+		if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			if desc, idxs, ok := fa.acquire(call); ok {
+				for _, k := range idxs {
+					fa.sb.setFresh(k, desc)
+				}
+				return
+			}
+		}
+	}
+	for i, r := range s.Results {
+		r = ast.Unparen(r)
+		if id, ok := r.(*ast.Ident); ok {
+			if v, ok := fa.p.Info.Uses[id].(*types.Var); ok {
+				if st, tracked := env[v]; tracked && !st.released && st.ob.param < 0 {
+					fa.sb.setFresh(i, st.ob.desc)
+				}
+			}
+			continue
+		}
+		if call, ok := r.(*ast.CallExpr); ok {
+			if desc, idxs, ok := fa.acquire(call); ok && len(idxs) == 1 && idxs[0] == 0 {
+				fa.sb.setFresh(i, desc)
+			}
+		}
+	}
+}
+
+// scanExpr processes one expression on the current path: applies releases
+// and summary consults, then lets the analyzer observe remaining open calls.
+// Nested function literals are opaque (analyzed separately).
 func (fa *flowAnalysis) scanExpr(expr ast.Expr, env obEnv) {
 	if expr == nil {
 		return
@@ -816,7 +1127,8 @@ func (fa *flowAnalysis) scanExpr(expr ast.Expr, env obEnv) {
 				}
 			}
 		}
-		if fa.rules.onOpenCall != nil {
+		fa.consultCall(call, env)
+		if fa.rules.onOpenCall != nil && fa.mode == modeAnalyze {
 			var open []*obligation
 			var vars []*types.Var
 			for v, s := range env { //repolint:ordered sorted below before use
@@ -831,6 +1143,302 @@ func (fa *flowAnalysis) scanExpr(expr ast.Expr, env obEnv) {
 			fa.rules.onOpenCall(fa.p, call, open)
 		}
 	})
+}
+
+// consultCall applies the callee's summary to tracked obligations passed as
+// receiver or arguments: an always-releasing callee discharges them, a
+// conditionally- or never-releasing callee records the callee chain for the
+// eventual leak diagnostic.
+func (fa *flowAnalysis) consultCall(call *ast.CallExpr, env obEnv) {
+	if fa.sums == nil {
+		return
+	}
+	f := calleeFunc(fa.p.Info, call)
+	if f == nil {
+		return
+	}
+	sum := fa.sums[f.FullName()]
+	if sum == nil {
+		return
+	}
+	if fa.isReleaseArgCall(call) {
+		return
+	}
+	if fa.rules.keepArg != nil && fa.rules.keepArg(fa.p, call) {
+		return
+	}
+	if fa.p.Directive(call.Pos(), "owner") {
+		return
+	}
+	// Receiver position: a module method that closes (or conditionally
+	// closes) its own receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && len(sum.Params) > 0 {
+		if sig := funcSignature(f); sig != nil && sig.Recv() != nil {
+			if root := chainRootIdent(sel.X); root != nil {
+				if v, ok := fa.p.Info.Uses[root].(*types.Var); ok {
+					if s, tracked := env[v]; tracked && !s.released {
+						fa.applyParamSummary(f, sum.Params[0], s, true)
+					}
+				}
+			}
+		}
+	}
+	for k, a := range call.Args {
+		id, ok := ast.Unparen(a).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := fa.p.Info.Uses[id].(*types.Var)
+		if !ok {
+			continue
+		}
+		s, tracked := env[v]
+		if !tracked || s.released {
+			continue
+		}
+		pidx := summaryParamIndex(f, sum, k)
+		if pidx < 0 {
+			continue
+		}
+		fa.applyParamSummary(f, sum.Params[pidx], s, false)
+	}
+}
+
+// applyParamSummary acts on one (obligation, callee parameter) pairing.
+func (fa *flowAnalysis) applyParamSummary(callee *types.Func, ps ParamSummary, s *obState, recvPos bool) {
+	if !ps.Tracked || ps.Escapes || ps.Goroutine {
+		return
+	}
+	switch ps.Status {
+	case relAlways:
+		s.released = true
+		fa.countCross()
+	case relCond:
+		s.releasedAny = true
+		fa.recordChain(callee, ps, s, relCond)
+	case relNever:
+		if recvPos {
+			return // ordinary method use, not a hand-off attempt
+		}
+		fa.recordChain(callee, ps, s, relNever)
+	}
+}
+
+// recordChain attaches the callee chain to the obligation (analyze and
+// gohandoff modes) or to the summary accumulator (summary mode).
+func (fa *flowAnalysis) recordChain(callee *types.Func, ps ParamSummary, s *obState, rel relStatus) {
+	chain := buildChain(fa.selfName(), callee, ps.Chain)
+	if fa.mode == modeSummary {
+		if acc := fa.sb.params[s.ob.v]; acc != nil && acc.chain == nil {
+			acc.chain = chain
+		}
+		return
+	}
+	if s.ob.chain == nil {
+		s.ob.chain = chain
+		s.ob.chainRel = rel
+	}
+	fa.countCross()
+}
+
+// selfName is the function under summarization, for chain self-skips.
+func (fa *flowAnalysis) selfName() string {
+	if fa.sb != nil && fa.sb.self != nil {
+		return shortFuncName(fa.sb.self)
+	}
+	return ""
+}
+
+// countCross bumps the module's cross-function obligation counter (the
+// verify.sh coverage stat); only the analyzers' primary walk counts.
+func (fa *flowAnalysis) countCross() {
+	if fa.mode == modeAnalyze && fa.idx != nil {
+		fa.idx.crossFunc++
+	}
+}
+
+// ---- goroutine hand-off check (modeGoHandoff) ---------------------------
+
+// checkGoStmt decides, for every open obligation the `go` statement hands to
+// its goroutine, whether the goroutine releases it on all paths (a proper
+// hand-off: the parent's obligation is discharged) or not (the obligation
+// stays open and the leak reports at the `go` statement if the parent never
+// releases it either — the borrow-without-return shape).
+func (fa *flowAnalysis) checkGoStmt(g *ast.GoStmt, env obEnv) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		// Obligations captured by the literal's body.
+		captured := map[*types.Var]bool{}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := fa.p.Info.Uses[id].(*types.Var); ok {
+					if s, tracked := env[v]; tracked && !s.released {
+						captured[v] = true
+					}
+				}
+			}
+			return true
+		})
+		var vars []*types.Var
+		for v := range captured { //repolint:ordered sorted below
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+		for _, v := range vars {
+			s := env[v]
+			if fa.goroutineReleases(lit.Body, v, s.ob) {
+				s.released = true
+			} else {
+				fa.markGoCapture(s, g)
+			}
+		}
+		// Obligations passed as arguments become the literal's parameters.
+		for k, a := range g.Call.Args {
+			id, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := fa.p.Info.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			s, tracked := env[v]
+			if !tracked || s.released {
+				continue
+			}
+			pv := litParamVar(fa.p, lit, k)
+			if pv == nil {
+				s.released = true // unanalyzable: permissive hand-off
+				continue
+			}
+			if fa.goroutineReleases(lit.Body, pv, s.ob) {
+				s.released = true
+			} else {
+				fa.markGoCapture(s, g)
+			}
+		}
+		return
+	}
+	// go helper(v) / go v.Method(): consult the callee summary.
+	f := calleeFunc(fa.p.Info, g.Call)
+	var sum *FuncSummary
+	if f != nil && fa.sums != nil {
+		sum = fa.sums[f.FullName()]
+	}
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		if root := chainRootIdent(sel.X); root != nil {
+			if v, ok := fa.p.Info.Uses[root].(*types.Var); ok {
+				if s, tracked := env[v]; tracked && !s.released {
+					fa.goConsult(f, sum, 0, s, g)
+				}
+			}
+		}
+	}
+	for k, a := range g.Call.Args {
+		id, ok := ast.Unparen(a).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := fa.p.Info.Uses[id].(*types.Var)
+		if !ok {
+			continue
+		}
+		s, tracked := env[v]
+		if !tracked || s.released {
+			continue
+		}
+		pidx := -1
+		if f != nil && sum != nil {
+			pidx = summaryParamIndex(f, sum, k)
+		}
+		if pidx < 0 {
+			s.released = true // no summary: permissive hand-off
+			continue
+		}
+		fa.goConsult(f, sum, pidx, s, g)
+	}
+}
+
+// goConsult resolves one obligation handed to a goroutine-launched call
+// against the callee's summary.
+func (fa *flowAnalysis) goConsult(f *types.Func, sum *FuncSummary, pidx int, s *obState, g *ast.GoStmt) {
+	if sum == nil || pidx >= len(sum.Params) {
+		s.released = true // no summary: permissive hand-off
+		return
+	}
+	ps := sum.Params[pidx]
+	if !ps.Tracked || ps.Escapes || ps.Goroutine {
+		s.released = true // beyond the summary's sight: permissive hand-off
+		return
+	}
+	if ps.Status == relAlways {
+		s.released = true
+		return
+	}
+	if s.ob.chain == nil && f != nil {
+		s.ob.chain = buildChain("", f, ps.Chain)
+		s.ob.chainRel = ps.Status
+	}
+	fa.markGoCapture(s, g)
+}
+
+// markGoCapture records the capturing `go` statement on the obligation; the
+// leak reports there if neither the goroutine nor the parent releases it.
+func (fa *flowAnalysis) markGoCapture(s *obState, g *ast.GoStmt) {
+	if fa.p.Directive(g.Pos(), "owner") {
+		s.released = true
+		return
+	}
+	if s.ob.goPos == token.NoPos {
+		s.ob.goPos = g.Pos()
+	}
+}
+
+// goroutineReleases reports whether the goroutine body releases the
+// obligation rooted at v on every path. Escapes inside the goroutine are
+// read permissively (the goroutine handed it on), so false means the body
+// visibly keeps the value and still fails to release it.
+func (fa *flowAnalysis) goroutineReleases(body *ast.BlockStmt, v *types.Var, ob *obligation) bool {
+	child := &flowAnalysis{
+		p:        fa.p,
+		rules:    fa.rules,
+		body:     body,
+		tracked:  map[*types.Var]*obligation{v: {v: v, pos: ob.pos, desc: ob.desc, param: -1}},
+		reported: map[*types.Var]bool{},
+		mode:     modeGoCheck,
+		idx:      fa.idx,
+		sums:     fa.sums,
+	}
+	child.dropEscapes()
+	if len(child.tracked) == 0 {
+		return true // escaped inside the goroutine: permissive hand-off
+	}
+	env := obEnv{v: &obState{ob: child.tracked[v]}}
+	if !child.walkStmts(body.List, env) {
+		child.checkExit(env, body.Rbrace)
+	}
+	return !child.goFail
+}
+
+// litParamVar resolves the k-th parameter variable of a function literal.
+func litParamVar(p *Pass, lit *ast.FuncLit, k int) *types.Var {
+	if lit.Type.Params == nil {
+		return nil
+	}
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i == k {
+				v, _ := p.Info.Defs[name].(*types.Var)
+				return v
+			}
+			i++
+		}
+	}
+	return nil
 }
 
 // releasedBy returns the identifiers whose obligations the call discharges:
@@ -875,21 +1483,70 @@ func chainRootIdent(expr ast.Expr) *ast.Ident {
 	}
 }
 
-// checkExit reports every obligation still open when a path leaves the
-// function, once per obligation.
+// checkExit resolves every obligation still open when a path leaves the
+// function: analyze mode reports leaks at the acquire site, summary mode
+// records the exit outcome per parameter, gohandoff mode reports goroutine
+// captures at the `go` statement, and the goroutine sub-check just flags the
+// open path.
 func (fa *flowAnalysis) checkExit(env obEnv, exit token.Pos) {
+	switch fa.mode {
+	case modeSummary:
+		for v, acc := range fa.sb.params { //repolint:ordered per-param counters, order-independent
+			s, ok := env[v]
+			if !ok {
+				continue // escaped before the walk; the escape bits tell the story
+			}
+			switch {
+			case s.released:
+				acc.rel++
+			case s.releasedAny:
+				acc.cond++
+			default:
+				acc.open++
+			}
+		}
+		return
+	case modeGoCheck:
+		for _, s := range env { //repolint:ordered single-obligation env
+			if !s.released {
+				fa.goFail = true
+			}
+		}
+		return
+	}
 	var vars []*types.Var
 	for v, s := range env { //repolint:ordered sorted below before reporting
-		if !s.released && !fa.reported[v] {
-			vars = append(vars, v)
+		if s.released || fa.reported[v] {
+			continue
 		}
+		if fa.mode == modeGoHandoff && s.ob.goPos == token.NoPos {
+			continue // base-analyzer territory, not a goroutine capture
+		}
+		vars = append(vars, v)
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
 	for _, v := range vars {
 		fa.reported[v] = true
 		ob := env[v].ob
-		fa.p.Reportf(ob.pos, "%s %q is not %s on every path: function exit at line %d",
-			ob.desc, v.Name(), fa.rules.leakVerb, fa.p.Fset.Position(exit).Line)
+		var pos token.Pos
+		var msg string
+		if fa.mode == modeGoHandoff {
+			pos = ob.goPos
+			msg = fmt.Sprintf("%s %q is captured by a goroutine but not %s inside it on every path (acquired at line %d)",
+				ob.desc, v.Name(), fa.rules.leakVerb, fa.p.Fset.Position(ob.pos).Line)
+		} else {
+			pos = ob.pos
+			msg = fmt.Sprintf("%s %q is not %s on every path: function exit at line %d",
+				ob.desc, v.Name(), fa.rules.leakVerb, fa.p.Fset.Position(exit).Line)
+		}
+		if len(ob.chain) > 0 {
+			verb := "never releases it"
+			if ob.chainRel == relCond {
+				verb = "releases it only on some paths"
+			}
+			msg += fmt.Sprintf(" (passed to %s, which %s)", strings.Join(ob.chain, " -> "), verb)
+		}
+		fa.p.report(pos, ob.chain, "%s", msg)
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // ForkjoinAnalyzer enforces the parallel cost model's barrier discipline:
@@ -12,6 +13,11 @@ import (
 // argument: lane work is only conserved if it folds back through the barrier,
 // and a parent charge between fork and join would interleave serial and
 // parallel virtual time nondeterministically.
+//
+// Lane slices handed to module helpers are followed through the function
+// summaries: a helper that always Joins them discharges the obligation, one
+// that never (or only sometimes) does keeps the leak at the forking function
+// with the callee chain.
 var ForkjoinAnalyzer = &Analyzer{
 	Name: "forkjoin",
 	Doc:  "sim.Meter.Fork/obs.Tracer.ForkLanes must pair with Join/JoinLanes; no parent Charge between fork and join",
@@ -19,7 +25,14 @@ var ForkjoinAnalyzer = &Analyzer{
 }
 
 func runForkjoin(p *Pass) {
-	rules := &obRules{
+	runObligations(p, forkjoinRules())
+}
+
+// forkjoinRules is the forkjoin obligation rule set, shared with the summary
+// layer and the gohandoff analyzer.
+func forkjoinRules() *obRules {
+	return &obRules{
+		name:        "forkjoin",
 		leakVerb:    "Joined back",
 		releaseArg:  map[string]bool{"Join": true, "JoinLanes": true},
 		releaseRecv: map[string]bool{}, // joins go through the parent, never the lanes
@@ -35,6 +48,23 @@ func runForkjoin(p *Pass) {
 				return "forked lane tracers", []int{0}, true
 			}
 			return "", nil, false
+		},
+		paramType: func(p *Pass, t types.Type) (string, bool) {
+			sl, ok := t.(*types.Slice)
+			if !ok {
+				return "", false
+			}
+			n := namedOrPtr(sl.Elem())
+			if n == nil {
+				return "", false
+			}
+			switch {
+			case n.Obj().Name() == "Meter" && pkgBase(n.Obj().Pkg()) == "sim":
+				return "forked lane meters", true
+			case n.Obj().Name() == "Tracer" && pkgBase(n.Obj().Pkg()) == "obs":
+				return "forked lane tracers", true
+			}
+			return "", false
 		},
 		validRelease: func(p *Pass, call *ast.CallExpr) bool {
 			f := calleeFunc(p.Info, call)
@@ -52,7 +82,6 @@ func runForkjoin(p *Pass) {
 		},
 		onOpenCall: checkParentTouch,
 	}
-	runObligations(p, rules)
 }
 
 // checkParentTouch flags parent-meter charges (and parent-tracer span starts)

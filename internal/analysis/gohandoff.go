@@ -1,0 +1,32 @@
+package analysis
+
+// GohandoffAnalyzer checks the concurrency hand-off shape the serving layer
+// is built from (cmd/served per-conn goroutines, serve.Fleet session
+// lifecycles): an obligation — an obs span, forked lanes, a closable
+// resource — captured by a `go func` literal or passed into a
+// goroutine-launched call must be released inside the goroutine on every
+// path. The intraprocedural analyzers deliberately treat goroutine capture
+// as an ownership transfer and stop tracking; this analyzer follows the
+// value into the goroutine body (or the summarized callee) and reports at
+// the `go` statement when no in-goroutine release covers all paths and the
+// parent never releases it either (a parent that releases after the
+// goroutine signals back — the borrow shape — is fine).
+//
+// Intentional transfers the engine cannot see are annotated
+// //repolint:owner (or //repolint:gohandoff) with a justification at the
+// `go` statement.
+var GohandoffAnalyzer = &Analyzer{
+	Name: "gohandoff",
+	Doc:  "obligations captured by a goroutine must be released inside it on all paths",
+	Run:  runGohandoff,
+}
+
+func runGohandoff(p *Pass) {
+	for _, rules := range obligationRuleSets() {
+		// The base analyzers own discard diagnostics and open-call checks;
+		// this pass only cares about goroutine captures.
+		r := *rules
+		r.onOpenCall = nil
+		runObligationsMode(p, &r, modeGoHandoff)
+	}
+}

@@ -142,7 +142,7 @@ func TestPassingCases(t *testing.T) {
 			}
 		}
 	}
-	for _, base := range []string{"determinism", "spanend", "forkjoin", "closer", "noreentrancy", "pr3scan", "pr3staging", "skewstats", "coldict", "profsnap", "servewire"} {
+	for _, base := range []string{"determinism", "spanend", "forkjoin", "closer", "noreentrancy", "pr3scan", "pr3staging", "skewstats", "coldict", "profsnap", "servewire", "interproc", "gohandoff"} {
 		if passing[base] == 0 {
 			t.Errorf("case package %s has no passing (Ok*/Fixed*/Good*/Free*) function", base)
 		}
@@ -221,6 +221,72 @@ func TestServeWireShapeCaught(t *testing.T) {
 	}
 	if counts["spanend"] < 1 {
 		t.Errorf("spanend missed the leaked shared-batch span (got %d diagnostics)", counts["spanend"])
+	}
+}
+
+// TestInterprocShapesCaught pins the tentpole claim: all three obligation
+// analyzers catch the two-level helper-leak and the conditional-release
+// shapes — exactly the shapes a purely intraprocedural engine hands off and
+// forgets — and constructor-wrapped acquires re-attach in callers.
+func TestInterprocShapesCaught(t *testing.T) {
+	_, diags := loadLintdata(t)
+	type key struct{ analyzer, kind string }
+	counts := map[key]int{}
+	for _, d := range diags {
+		if !strings.Contains(d.Pos.Filename, "interproc") {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "never releases it"):
+			counts[key{d.Analyzer, "chain"}]++
+		case strings.Contains(d.Message, "only on some paths"):
+			counts[key{d.Analyzer, "cond"}]++
+		default:
+			counts[key{d.Analyzer, "fresh"}]++
+		}
+		if strings.Contains(d.Message, "never releases it") && len(d.Chain) < 2 {
+			t.Errorf("two-level finding carries a short callee chain %v: %s", d.Chain, d)
+		}
+	}
+	for _, a := range []string{"spanend", "forkjoin", "closer"} {
+		if counts[key{a, "chain"}] < 1 {
+			t.Errorf("%s missed the two-level helper-leak shape", a)
+		}
+		if counts[key{a, "cond"}] < 1 {
+			t.Errorf("%s missed the conditional-release shape", a)
+		}
+	}
+	if counts[key{"spanend", "fresh"}] < 2 || counts[key{"closer", "fresh"}] < 2 {
+		t.Errorf("constructor-wrapped acquires not re-attached in callers (spanend %d, closer %d, want >= 2 each)",
+			counts[key{"spanend", "fresh"}], counts[key{"closer", "fresh"}])
+	}
+}
+
+// TestGohandoffShapeCaught pins the new analyzer: goroutine-captured
+// obligations without an in-goroutine release are reported at the `go`
+// statement, across all three rule sets.
+func TestGohandoffShapeCaught(t *testing.T) {
+	_, diags := loadLintdata(t)
+	counts := map[string]int{}
+	for _, d := range diags {
+		if d.Analyzer != "gohandoff" {
+			continue
+		}
+		if !strings.Contains(d.Message, "captured by a goroutine") {
+			t.Errorf("gohandoff diagnostic with unexpected message: %s", d)
+		}
+		if strings.Contains(d.Message, "obs span") {
+			counts["span"]++
+		}
+		if strings.Contains(d.Message, "resource") {
+			counts["resource"]++
+		}
+	}
+	if counts["span"] < 3 {
+		t.Errorf("gohandoff caught %d span-capture shapes, want >= 3 (plain, conditional, helper)", counts["span"])
+	}
+	if counts["resource"] < 1 {
+		t.Errorf("gohandoff missed the resource-capture shape")
 	}
 }
 

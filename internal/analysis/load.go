@@ -27,6 +27,20 @@ type Package struct {
 	directives map[string][]directive // filename -> //repolint: comments
 }
 
+// FuncDecls returns every function declaration with a body in the package,
+// in file and source order (the module index's deterministic walk set).
+func (p *Package) FuncDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
 // listPackage is the subset of `go list -json` output the loader consumes.
 type listPackage struct {
 	ImportPath string

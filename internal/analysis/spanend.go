@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // SpanendAnalyzer enforces the span lifecycle contract of internal/obs: every
@@ -10,10 +11,12 @@ import (
 // class by hand — the batch scan span leaked when the scan errored — and the
 // next parallel fan-out must not be able to reintroduce it.
 //
-// Ownership transfers (spans stored in a struct such as a cursor, passed to
-// another function, captured by a deferred closure) are respected: the
-// obligation follows the value out and is checked wherever End is ultimately
-// called from.
+// The check is interprocedural within the module: passing a span to an
+// always-Ending helper discharges it, a helper that never (or only
+// conditionally) Ends it keeps the leak attributed to the acquirer with the
+// callee chain, and functions returning spans they started are themselves
+// acquire sites in their callers. Transfers the summaries cannot see
+// (struct fields, closures, indirect calls) remain permissive.
 var SpanendAnalyzer = &Analyzer{
 	Name: "spanend",
 	Doc:  "obs spans must reach End() on all paths, including error returns",
@@ -21,7 +24,14 @@ var SpanendAnalyzer = &Analyzer{
 }
 
 func runSpanend(p *Pass) {
-	rules := &obRules{
+	runObligations(p, spanendRules())
+}
+
+// spanendRules is the spanend obligation rule set, shared with the summary
+// layer and the gohandoff analyzer.
+func spanendRules() *obRules {
+	return &obRules{
+		name:        "spanend",
 		leakVerb:    "Ended",
 		releaseRecv: map[string]bool{"End": true, "EndAt": true},
 		acquire: func(p *Pass, call *ast.CallExpr) (string, []int, bool) {
@@ -34,10 +44,16 @@ func runSpanend(p *Pass) {
 			}
 			return "obs span", []int{0}, true
 		},
+		paramType: func(p *Pass, t types.Type) (string, bool) {
+			n := namedOrPtr(t)
+			if n == nil || n.Obj().Name() != "Span" || pkgBase(n.Obj().Pkg()) != "obs" {
+				return "", false
+			}
+			return "obs span", true
+		},
 		validRelease: func(p *Pass, call *ast.CallExpr) bool {
 			f := calleeFunc(p.Info, call)
 			return f != nil && pkgBase(f.Pkg()) == "obs"
 		},
 	}
-	runObligations(p, rules)
 }

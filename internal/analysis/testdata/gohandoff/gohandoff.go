@@ -1,0 +1,104 @@
+// Package gohandoff exercises the goroutine hand-off analyzer: obligations
+// captured by `go func` literals or passed to goroutine-launched helpers
+// must be released inside the goroutine on every path, unless the parent
+// keeps ownership and releases after the goroutine signals back (the borrow
+// shape).
+package gohandoff
+
+import (
+	"lintdata/obs"
+	"lintdata/res"
+	"lintdata/sim"
+)
+
+// leaveOpen reads the span but never ends it.
+func leaveOpen(sp *obs.Span) { sp.SetRows(1) }
+
+// closeIt ends the span on every path.
+func closeIt(sp *obs.Span) { sp.End() }
+
+func BadGoCapture(tr *obs.Tracer) {
+	sp := tr.Start("conn", "serve")
+	go func() { // want `obs span "sp" is captured by a goroutine but not Ended inside it on every path \(acquired at line \d+\)`
+		sp.SetRows(1)
+	}()
+}
+
+func BadGoCondRelease(tr *obs.Tracer, ok bool) {
+	sp := tr.Start("conn", "serve")
+	go func() { // want `obs span "sp" is captured by a goroutine but not Ended inside it on every path`
+		if ok {
+			sp.End()
+		}
+	}()
+}
+
+func BadGoHelper(tr *obs.Tracer) {
+	sp := tr.Start("conn", "serve")
+	go leaveOpen(sp) // want `obs span "sp" is captured by a goroutine but not Ended inside it on every path.*passed to gohandoff\.leaveOpen, which never releases it`
+}
+
+func BadGoCursor() {
+	c := res.OpenScan()
+	go func() { // want `resource Cursor "c" is captured by a goroutine but not released \(Close/Finish/Abort\) inside it on every path`
+		c.Next()
+	}()
+}
+
+func OkGoRelease(tr *obs.Tracer) {
+	sp := tr.Start("conn", "serve")
+	go func() {
+		sp.SetRows(1)
+		sp.End()
+	}()
+}
+
+func OkGoArgRelease(tr *obs.Tracer) {
+	sp := tr.Start("conn", "serve")
+	go func(s *obs.Span) {
+		s.End()
+	}(sp)
+}
+
+func OkGoHelperClose(tr *obs.Tracer) {
+	sp := tr.Start("conn", "serve")
+	go closeIt(sp)
+}
+
+// OkGoBorrow: the goroutine only borrows the span; the parent keeps the
+// obligation and ends it after the goroutine signals completion.
+func OkGoBorrow(tr *obs.Tracer) {
+	sp := tr.Start("conn", "serve")
+	done := make(chan struct{})
+	go func() {
+		sp.SetRows(1)
+		close(done)
+	}()
+	<-done
+	sp.End()
+}
+
+// OkGoLanesBorrow: lane meters charged by a goroutine while the parent joins
+// them after the barrier — the canonical worker shape.
+func OkGoLanesBorrow(m *sim.Meter) {
+	lanes := m.Fork(2)
+	done := make(chan struct{})
+	go func() {
+		lanes[0].Charge(0, 1, 1)
+		close(done)
+	}()
+	<-done
+	m.Join(lanes)
+}
+
+// OkGoAnnotated: an intentional transfer the engine cannot prove — the
+// goroutine releases only on the shutdown path — justified with owner.
+func OkGoAnnotated(tr *obs.Tracer, shutdown bool) {
+	sp := tr.Start("conn", "serve")
+	//repolint:owner the monitor goroutine owns the span and ends it at shutdown
+	go func() {
+		if shutdown {
+			sp.End()
+		}
+	}()
+}

@@ -548,6 +548,7 @@ func NaiveBayesPlugin(env *Env, scale float64) (*Experiment, error) {
 		}
 		model, err := nb.Train(m, 1)
 		if err != nil {
+			m.Close()
 			return nil, err
 		}
 		m.Close()

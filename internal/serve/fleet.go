@@ -100,6 +100,11 @@ type Fleet struct {
 	lastID   int
 	freeNS   int64
 	ran      bool
+
+	// runHook is a test seam, always nil in production: invoked once per
+	// scheduling round after admission, an error return simulates a mid-run
+	// failure so tests can assert no admitted session's resources leak.
+	runHook func() error
 }
 
 // NewFleet creates a fleet over the server. col may be nil (no
@@ -234,11 +239,23 @@ func (f *Fleet) reslice(running []*Session) {
 // to the running session furthest behind in virtual time; with ScanSharing,
 // rounds where two or more sessions' next batch is a shareable server scan
 // run those batches against one physical scan. Returns the first error.
-func (f *Fleet) Run() error {
+func (f *Fleet) Run() (err error) {
 	if f.ran {
 		return fmt.Errorf("serve: fleet already ran")
 	}
 	f.ran = true
+	// An error abandons the round mid-flight: release every admitted,
+	// unfinished session's middleware (staging files) before returning.
+	// Middleware.Close is idempotent, so retired sessions are unaffected.
+	defer func() {
+		if err != nil {
+			for _, s := range f.sessions {
+				if s.admitted && !s.done {
+					s.Close()
+				}
+			}
+		}
+	}()
 	pending := append([]*Session(nil), f.sessions...)
 	var running []*Session
 
@@ -262,6 +279,11 @@ func (f *Fleet) Run() error {
 	for {
 		if err := admit(); err != nil {
 			return err
+		}
+		if f.runHook != nil {
+			if err := f.runHook(); err != nil {
+				return err
+			}
 		}
 		if len(running) == 0 {
 			return nil

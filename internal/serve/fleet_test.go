@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -248,6 +251,68 @@ func TestNewFleetValidation(t *testing.T) {
 	for _, tc := range cases {
 		if _, err := NewFleet(srv, nil, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// stageDirs returns the names of middleware staging temp dirs currently on
+// disk (mw's fileStore creates one per session when Config.Dir is empty).
+func stageDirs(t *testing.T) map[string]bool {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "mwstage-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool, len(matches))
+	for _, m := range matches {
+		out[m] = true
+	}
+	return out
+}
+
+// TestFleetRunErrorClosesSessions: a mid-run failure must release every
+// admitted session's middleware — concretely, the per-session staging
+// directories created at admission must be gone after Run returns the error.
+// (Before the fix, Run's error returns left them on disk for the process
+// lifetime.)
+func TestFleetRunErrorClosesSessions(t *testing.T) {
+	before := stageDirs(t)
+	srv := testServer(t, 800)
+	f, err := NewFleet(srv, nil, FleetConfig{Base: baseCfg(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Open("", testOpt, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	injected := errors.New("injected mid-run failure")
+	rounds := 0
+	f.runHook = func() error {
+		rounds++
+		if rounds >= 3 {
+			return injected
+		}
+		return nil
+	}
+	if err := f.Run(); !errors.Is(err, injected) {
+		t.Fatalf("Run() = %v, want the injected error", err)
+	}
+	for _, s := range f.Sessions() {
+		if !s.admitted {
+			t.Fatalf("session %d was never admitted", s.ID)
+		}
+	}
+	for dir := range stageDirs(t) {
+		if !before[dir] {
+			t.Errorf("staging dir %s leaked past the failed Run", dir)
+		}
+	}
+	// Close stays idempotent after the cleanup.
+	for _, s := range f.Sessions() {
+		if err := s.Close(); err != nil {
+			t.Errorf("second Close of session %d: %v", s.ID, err)
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frameBytes hand-assembles a raw frame: length prefix, type byte, payload.
+func frameBytes(n uint32, t byte, payload []byte) []byte {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], n)
+	hdr[4] = t
+	return append(hdr[:], payload...)
+}
+
+// FuzzDecodeFrame feeds arbitrary byte streams to ReadFrame and pins its
+// contract: no panic, errors (never garbage) on truncated input and on
+// length prefixes past the 16 MiB cap, zero-length payloads decode to a nil
+// payload, and every successful read round-trips to exactly the bytes
+// consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	// Valid frames produced by the real encoder.
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, THello, Hello{Version: Version}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var q bytes.Buffer
+	_ = WriteFrame(&q, TQuery, Query{SQL: "SELECT COUNT(*) FROM cases"})
+	f.Add(q.Bytes())
+	// Zero-length payload (nil msg writes no payload bytes).
+	var zero bytes.Buffer
+	_ = WriteFrame(&zero, TGoodbye, nil)
+	f.Add(zero.Bytes())
+	// Truncations: empty, partial header, header promising absent payload.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add(frameBytes(10, byte(TDone), []byte("short")))
+	// Length prefix exactly at, one past, and far past the cap.
+	f.Add(frameBytes(MaxPayload, byte(TRowBatch), nil))
+	f.Add(frameBytes(MaxPayload+1, byte(TRowBatch), nil))
+	f.Add(frameBytes(^uint32(0), 0xff, nil))
+	// Two frames back to back.
+	f.Add(append(append([]byte{}, zero.Bytes()...), valid.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadFrame(r)
+		if err != nil {
+			// Error cases must be the documented ones: truncation or the
+			// payload cap. Anything else is a new failure mode.
+			if err != io.EOF && err != io.ErrUnexpectedEOF &&
+				!strings.Contains(err.Error(), "exceeds limit") {
+				t.Fatalf("unexpected ReadFrame error class: %v", err)
+			}
+			if len(data) >= 5 {
+				if n := binary.BigEndian.Uint32(data[:4]); n <= MaxPayload && len(data) >= 5+int(n) {
+					t.Fatalf("ReadFrame errored (%v) on a complete in-cap frame (len=%d)", err, n)
+				}
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(data[:4])
+		if n > MaxPayload {
+			t.Fatalf("ReadFrame accepted %d-byte payload past the %d cap", n, MaxPayload)
+		}
+		if int(n) != len(payload) {
+			t.Fatalf("payload length %d, header promised %d", len(payload), n)
+		}
+		if n == 0 && payload != nil {
+			t.Fatalf("zero-length payload decoded non-nil: %q", payload)
+		}
+		// Round-trip: re-assembling the frame must reproduce exactly the
+		// consumed prefix of the input.
+		consumed := 5 + int(n)
+		if got := frameBytes(n, byte(typ), payload); !bytes.Equal(got, data[:consumed]) {
+			t.Fatalf("re-encoded frame differs from consumed input:\n got %x\nwant %x", got, data[:consumed])
+		}
+		if r.Len() != len(data)-consumed {
+			t.Fatalf("ReadFrame consumed %d bytes, want %d", len(data)-r.Len(), consumed)
+		}
+		// Unmarshal into the matching message type must never panic; errors
+		// are fine (arbitrary payloads are rarely valid JSON).
+		switch typ {
+		case THello:
+			_ = Unmarshal(payload, &Hello{})
+		case TRowBatch:
+			_ = Unmarshal(payload, &RowBatch{})
+		case TError:
+			_ = Unmarshal(payload, &Error{})
+		}
+	})
+}

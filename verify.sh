@@ -19,8 +19,20 @@ gate() {
 gate "go build ./..." go build ./...
 gate "go vet ./..." go vet ./...
 # repolint: the repository's own static-analysis suite (internal/analysis):
-# determinism, span/fork hygiene and resource-release invariants.
-gate "go run ./cmd/repolint ./..." go run ./cmd/repolint ./...
+# determinism, span/fork hygiene, resource-release and goroutine-handoff
+# invariants, interprocedural via whole-module function summaries. -stats
+# prints the summary-coverage line (functions summarized, cross-function
+# obligation events) to stderr so the one-line figure lands in CI logs.
+gate "go run ./cmd/repolint ./..." go run ./cmd/repolint -stats ./...
+# Determinism gate on the linter itself: two -json runs, the second under a
+# different GOMAXPROCS, must be byte-identical on stdout.
+echo "== repolint determinism (-json x2, GOMAXPROCS varied)"
+go run ./cmd/repolint -json ./... >/tmp/repolint-a.json 2>/dev/null
+GOMAXPROCS=1 go run ./cmd/repolint -json ./... >/tmp/repolint-b.json 2>/dev/null
+if ! cmp -s /tmp/repolint-a.json /tmp/repolint-b.json; then
+  echo "verify: FAILED at gate: repolint determinism (-json output differs between runs)" >&2
+  exit 1
+fi
 # The full-scale experiment suite (internal/exp TestAllShapeChecksPass) runs
 # close to go test's default 600s per-package timeout on a loaded machine;
 # give it explicit headroom rather than flaking under contention.
