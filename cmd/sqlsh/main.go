@@ -9,11 +9,20 @@
 // exit status nonzero; -e aborts on the first error instead of continuing
 // (the scripting default is to keep going, like psql without ON_ERROR_STOP).
 //
+// Beyond plain SQL, the shell covers the in-database scoring surface:
+// \train builds a classifier over "cases" through the middleware and
+// registers it in the engine's model catalog, after which the scoring
+// statements apply it — SCORE TABLE streams the vectorized batch path and
+// CLASSIFY evaluates the model per row inside any SELECT.
+//
 // Example session:
 //
 //	$ sqlsh -gen census -rows 5000
 //	sql> SELECT income, COUNT(*) FROM cases GROUP BY income
-//	sql> SELECT education AS val, income, COUNT(*) FROM cases WHERE sex = 0 GROUP BY income, education
+//	sql> \train m 4
+//	sql> SCORE TABLE cases USING m WORKERS 4
+//	sql> SELECT CLASSIFY(m, age, workclass, education, marital, occupation,
+//	     relationship, race, sex, capgain, caploss, hours, country) FROM cases LIMIT 3
 package main
 
 import (
@@ -23,11 +32,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/data"
 	"repro/internal/datagen"
+	"repro/internal/dtree"
 	"repro/internal/engine"
+	"repro/internal/mw"
 	"repro/internal/sim"
 )
 
@@ -60,12 +72,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	meter := sim.NewDefaultMeter()
 	eng := engine.New(meter, 0)
 
+	var srv *engine.Server
 	if *csvPath != "" || *gen != "" {
 		ds, err := load(*csvPath, *gen, *rows, *seed)
 		if err != nil {
 			return err
 		}
-		if _, err := engine.NewServer(eng, "cases", ds); err != nil {
+		srv, err = engine.NewServer(eng, "cases", ds)
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "loaded %d rows into table cases: %s\n", ds.N(), ds.Schema)
@@ -85,6 +99,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			for _, n := range eng.TableNames() {
 				t, _ := eng.Table(n)
 				fmt.Fprintf(stdout, "%s (%s): %d rows, %d pages\n", n, strings.Join(t.Cols, ", "), t.NumRows(), t.NumPages())
+			}
+		case stmt == "\\models":
+			for _, n := range eng.ModelNames() {
+				m, err := eng.Model(n)
+				if err != nil {
+					fmt.Fprintf(stderr, "sqlsh: model %s: %v\n", n, err)
+					continue
+				}
+				fmt.Fprintf(stdout, "%s: %d nodes, %d attrs, %d classes\n", n, len(m.Nodes), m.Cols, m.Classes)
+			}
+		case strings.HasPrefix(stmt, "\\train"):
+			before := meter.Snapshot()
+			if err := train(stdout, eng, srv, stmt); err != nil {
+				fmt.Fprintf(stderr, "sqlsh: error: %v\n", err)
+				failed = true
+				if *abort {
+					return errStatementFailed
+				}
+			} else {
+				fmt.Fprintf(stdout, "simulated cost: %v\n", meter.Since(before))
 			}
 		default:
 			before := meter.Snapshot()
@@ -109,6 +143,45 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	return exitStatus(failed)
+}
+
+// train handles "\train <model> [maxdepth]": build a tree over the preloaded
+// table through the middleware, compile it, and register it in the engine's
+// model catalog so SCORE TABLE and CLASSIFY can reach it.
+func train(stdout io.Writer, eng *engine.Engine, srv *engine.Server, stmt string) error {
+	if srv == nil {
+		return fmt.Errorf("\\train needs a preloaded table (use -csv or -gen)")
+	}
+	fields := strings.Fields(stmt)
+	if len(fields) < 2 || len(fields) > 3 {
+		return fmt.Errorf("usage: \\train <model> [maxdepth]")
+	}
+	opt := dtree.Options{}
+	if len(fields) == 3 {
+		d, err := strconv.Atoi(fields[2])
+		if err != nil || d < 1 {
+			return fmt.Errorf("\\train: maxdepth must be a positive integer, got %q", fields[2])
+		}
+		opt.MaxDepth = d
+	}
+	m, err := mw.New(srv, mw.Config{})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	tree, err := dtree.Build(m, opt)
+	if err != nil {
+		return err
+	}
+	model, err := dtree.Compile(tree, fields[1])
+	if err != nil {
+		return err
+	}
+	if err := eng.RegisterModel(model); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "model %s: %d nodes, %d leaves, depth %d\n", fields[1], tree.NumNodes, tree.NumLeaves, tree.MaxDepth)
+	return nil
 }
 
 func exitStatus(failed bool) error {

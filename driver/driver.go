@@ -164,6 +164,34 @@ func (r *rows) fetch() error {
 		}
 		r.batch, r.i = b.Rows, 0
 		return nil
+	case wire.TScoredBatch:
+		var b wire.ScoredBatch
+		if err := wire.Unmarshal(payload, &b); err != nil {
+			r.done = true
+			return err
+		}
+		if len(b.Dists) > 0 && len(b.Dists) != len(b.Classes) {
+			// The frame is self-consistent JSON with inconsistent content:
+			// surface a typed error but leave the stream drainable, so Close
+			// can still walk to the terminating frame and the connection
+			// stays usable.
+			return fmt.Errorf("ccsql: scored batch has %d distributions for %d rows", len(b.Dists), len(b.Classes))
+		}
+		// Expand scored rows to cell rows matching the announced header:
+		// the class label, then the per-class counts when streamed.
+		rows := make([][]wire.Cell, len(b.Classes))
+		for i, cl := range b.Classes {
+			row := make([]wire.Cell, 0, len(r.cols))
+			row = append(row, wire.Cell{I: int64(cl)})
+			if len(b.Dists) > 0 {
+				for _, d := range b.Dists[i] {
+					row = append(row, wire.Cell{I: d})
+				}
+			}
+			rows[i] = row
+		}
+		r.batch, r.i = rows, 0
+		return nil
 	case wire.TDone:
 		r.done = true
 		return io.EOF

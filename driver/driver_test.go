@@ -2,6 +2,8 @@ package ccsql
 
 import (
 	"database/sql"
+	"database/sql/driver"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -47,11 +49,34 @@ func fakeServer(t *testing.T) string {
 					if err := wire.Unmarshal(payload, &q); err != nil {
 						return
 					}
-					wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"a"}})
-					wire.WriteFrame(nc, wire.TRowBatch, wire.RowBatch{Rows: [][]wire.Cell{{{I: 1}}}})
-					if strings.Contains(q.SQL, "boom") {
+					switch {
+					case strings.Contains(q.SQL, "scorebad"):
+						// A scored batch whose distribution count disagrees
+						// with its class count: the driver must reject it
+						// with a typed error, not index out of range.
+						wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"class", "c0", "c1"}})
+						wire.WriteFrame(nc, wire.TScoredBatch, wire.ScoredBatch{Model: "m", Classes: []int32{0}, Dists: [][]int64{{1, 2}, {3, 4}}})
+						wire.WriteFrame(nc, wire.TDone, wire.Done{Rows: 1})
+					case strings.Contains(q.SQL, "scoreboom"):
+						// A statement error after the first scored batch:
+						// mid-stream failure on the scoring path.
+						wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"class", "c0", "c1"}})
+						wire.WriteFrame(nc, wire.TScoredBatch, wire.ScoredBatch{Model: "m", Classes: []int32{1}, Dists: [][]int64{{0, 5}}})
+						wire.WriteFrame(nc, wire.TError, wire.Error{Msg: "scoring failed mid-stream"})
+					case strings.Contains(q.SQL, "score"):
+						// A healthy scored stream split over two batches,
+						// the second class-only (no distributions).
+						wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"class"}})
+						wire.WriteFrame(nc, wire.TScoredBatch, wire.ScoredBatch{Model: "m", Classes: []int32{0, 1}})
+						wire.WriteFrame(nc, wire.TScoredBatch, wire.ScoredBatch{Model: "m", Classes: []int32{1}})
+						wire.WriteFrame(nc, wire.TDone, wire.Done{Rows: 3})
+					case strings.Contains(q.SQL, "boom"):
+						wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"a"}})
+						wire.WriteFrame(nc, wire.TRowBatch, wire.RowBatch{Rows: [][]wire.Cell{{{I: 1}}}})
 						wire.WriteFrame(nc, wire.TError, wire.Error{Msg: "boom"})
-					} else {
+					default:
+						wire.WriteFrame(nc, wire.TResultHeader, wire.ResultHeader{Cols: []string{"a"}})
+						wire.WriteFrame(nc, wire.TRowBatch, wire.RowBatch{Rows: [][]wire.Cell{{{I: 1}}}})
 						wire.WriteFrame(nc, wire.TDone, wire.Done{Rows: 1})
 					}
 				}
@@ -107,6 +132,142 @@ func TestConnReusableAfterStatementError(t *testing.T) {
 	}
 	if got != 1 {
 		t.Fatalf("second query returned %d rows, want 1", got)
+	}
+}
+
+// TestScoredStreamLazyBatches drives the driver below database/sql to pin
+// that scored rows stream batch by batch: after the first Next the client
+// buffer holds only the first frame's rows, and the second frame is fetched
+// lazily when the buffer runs dry.
+func TestScoredStreamLazyBatches(t *testing.T) {
+	addr := fakeServer(t)
+	conn, err := Driver{}.Open(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	st, err := conn.Prepare("SELECT score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := st.(*stmt).Query(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dr.(*rows)
+
+	dest := make([]driver.Value, 1)
+	if err := r.Next(dest); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if got := len(r.batch); got != 2 {
+		t.Fatalf("after first Next the buffer holds %d rows, want only the first batch's 2", got)
+	}
+	if r.done {
+		t.Fatal("stream marked done while a second batch is still unread")
+	}
+	want := []int64{0, 1, 1}
+	got := []int64{dest[0].(int64)}
+	for {
+		err := r.Next(dest)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, dest[0].(int64))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: class %d, want %d", i, got[i], want[i])
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("rows.Close: %v", err)
+	}
+}
+
+// TestScoredStreamMidStreamError pins that a statement error arriving after
+// a scored batch surfaces through rows.Err and leaves the pooled connection
+// reusable — the scoring dual of TestConnReusableAfterStatementError.
+func TestScoredStreamMidStreamError(t *testing.T) {
+	addr := fakeServer(t)
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	rows, err := db.Query("SELECT scoreboom")
+	if err != nil {
+		t.Fatalf("query start: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		var class, c0, c1 int64
+		if err := rows.Scan(&class, &c0, &c1); err != nil {
+			t.Fatal(err)
+		}
+		if class != 1 || c0 != 0 || c1 != 5 {
+			t.Fatalf("scored row = (%d, %d, %d), want (1, 0, 5)", class, c0, c1)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("read %d rows before the error, want 1", n)
+	}
+	if err := rows.Err(); err == nil || !strings.Contains(err.Error(), "scoring failed mid-stream") {
+		t.Fatalf("rows.Err() = %v, want the mid-stream scoring error", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("rows.Close: %v", err)
+	}
+	if _, err := db.Exec("SELECT ok"); err != nil {
+		t.Fatalf("connection poisoned after scored-stream error: %v", err)
+	}
+}
+
+// TestScoredStreamMismatchedDists pins the typed rejection of a scored batch
+// whose distribution count disagrees with its class count, and that the
+// malformed frame does not poison the connection.
+func TestScoredStreamMismatchedDists(t *testing.T) {
+	addr := fakeServer(t)
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec("SELECT scorebad"); err == nil || !strings.Contains(err.Error(), "distributions for") {
+		t.Fatalf("exec error = %v, want the mismatched-distributions rejection", err)
+	}
+	if _, err := db.Exec("SELECT ok"); err != nil {
+		t.Fatalf("connection poisoned after malformed scored batch: %v", err)
+	}
+}
+
+// TestExecDrainsScoredStream pins that rows.Close (via Exec) drains the new
+// TScoredBatch frame type to the stream's end.
+func TestExecDrainsScoredStream(t *testing.T) {
+	addr := fakeServer(t)
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec("SELECT score"); err != nil {
+		t.Fatalf("exec over scored stream: %v", err)
+	}
+	if _, err := db.Exec("SELECT ok"); err != nil {
+		t.Fatalf("connection not reusable after drained scored stream: %v", err)
 	}
 }
 

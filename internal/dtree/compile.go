@@ -1,0 +1,111 @@
+package dtree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+)
+
+// This file compiles a finished tree into the two in-database forms of §1's
+// deployment story: a flat engine.Model (registered into the engine's model
+// catalog, where it persists as an ordinary table) and a nested-CASE SQL
+// expression that any SQL backend can evaluate without knowing what a
+// decision tree is. Both forms predict byte-identically to Tree.Predict —
+// the equivalence suite pins all three.
+
+// Compile flattens the tree into an engine.Model named name. Nodes are laid
+// out in depth-first child order with the root at index 0, matching the
+// walk order of Dump and Rules so catalog row ids line up with the printed
+// tree.
+func Compile(t *Tree, name string) (*engine.Model, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("dtree: compile %q: empty tree", name)
+	}
+	if t.Schema == nil {
+		return nil, fmt.Errorf("dtree: compile %q: tree has no schema", name)
+	}
+	m := &engine.Model{
+		Name:    name,
+		Cols:    t.Schema.NumAttrs(),
+		Classes: t.Schema.Class.Card,
+	}
+	var flatten func(n *Node, parent int32) int32
+	flatten = func(n *Node, parent int32) int32 {
+		id := int32(len(m.Nodes))
+		counts := make([]int64, m.Classes)
+		for c, v := range n.ClassCounts {
+			if c < len(counts) {
+				counts[c] = v
+			}
+		}
+		mn := engine.ModelNode{
+			Parent: parent,
+			Leaf:   n.Leaf,
+			Attr:   -1,
+			Class:  n.Class,
+			Counts: counts,
+		}
+		if !n.Leaf {
+			mn.Attr = int32(n.SplitAttr)
+			mn.Val = n.SplitVal
+			mn.Multiway = n.Multiway
+			if n.Multiway {
+				mn.Vals = append([]data.Value(nil), n.SplitVals...)
+			}
+		}
+		m.Nodes = append(m.Nodes, mn)
+		for _, c := range n.Children {
+			kid := flatten(c, id)
+			m.Nodes[id].Kids = append(m.Nodes[id].Kids, kid)
+		}
+		return id
+	}
+	flatten(t.Root, -1)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("dtree: compile %q: %v", name, err)
+	}
+	return m, nil
+}
+
+// CaseSQL renders the tree as one nested CASE expression over the schema's
+// attribute names, evaluating to the predicted class label. A leaf is its
+// class literal; a binary split is CASE WHEN A = v THEN .. ELSE .. END; a
+// multiway split lists one WHEN arm per training value with the node's
+// majority class as the ELSE — the unseen-value fallback, so the expression
+// scores exactly like Predict. The output parses with internal/sqlparser.
+func CaseSQL(t *Tree) string {
+	var b strings.Builder
+	caseNode(&b, t, t.Root)
+	return b.String()
+}
+
+func caseNode(b *strings.Builder, t *Tree, n *Node) {
+	if n.Leaf {
+		fmt.Fprintf(b, "%d", n.Class)
+		return
+	}
+	col := t.Schema.ColName(n.SplitAttr)
+	b.WriteString("CASE")
+	if !n.Multiway {
+		fmt.Fprintf(b, " WHEN %s = %d THEN ", col, n.SplitVal)
+		caseNode(b, t, n.Children[0])
+		b.WriteString(" ELSE ")
+		caseNode(b, t, n.Children[1])
+		b.WriteString(" END")
+		return
+	}
+	for i, sv := range n.SplitVals {
+		fmt.Fprintf(b, " WHEN %s = %d THEN ", col, sv)
+		caseNode(b, t, n.Children[i])
+	}
+	fmt.Fprintf(b, " ELSE %d END", n.Class)
+}
+
+// ScoreSQL renders a full scoring statement for the tree against a table:
+// SELECT <nested CASE> FROM table. Running it through the engine is the
+// CASE-expression scoring path of the equivalence suite.
+func ScoreSQL(t *Tree, table string) string {
+	return "SELECT " + CaseSQL(t) + " FROM " + table
+}

@@ -1,0 +1,100 @@
+package dtree
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	_ "repro/internal/obs/profile" // registers the -explain profile renderer
+	"repro/internal/sim"
+)
+
+// driveScoreObs runs one fully-observed vectorized scoring pass and returns
+// its NDJSON trace, metrics JSON and -explain text profile.
+func driveScoreObs(t *testing.T, workers int) (nd, metrics, explain []byte) {
+	t.Helper()
+	ds, err := datagen.GenerateCensus(datagen.CensusConfig{Rows: 4000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BuildInMemory(ds, Options{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector(true, true)
+	meter := sim.NewDefaultMeter()
+	eng := engine.New(meter, 0)
+	tr, _ := col.Proc("score", meter)
+	eng.SetTracer(tr)
+	if _, err := engine.NewServer(eng, "cases", ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(tree, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterModel(m); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := eng.Table("cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ScoreTable(tbl, m, workers); err != nil {
+		t.Fatal(err)
+	}
+	var nb, mb, eb bytes.Buffer
+	if err := col.WriteTrace(&nb, "ndjson"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.WriteProfile(&eb, "text"); err != nil {
+		t.Fatal(err)
+	}
+	return nb.Bytes(), mb.Bytes(), eb.Bytes()
+}
+
+// TestScoreObsByteDeterminism extends the repo's observability determinism
+// contract to the scoring operator: for each fixed worker count, the NDJSON
+// trace, the metrics JSON and the -explain profile of a scoring pass are
+// byte-for-byte identical across reruns and across GOMAXPROCS settings.
+func TestScoreObsByteDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(map[int]string{1: "workers=1", 4: "workers=4", 8: "workers=8"}[workers], func(t *testing.T) {
+			refND, refMetrics, refExplain := driveScoreObs(t, workers)
+			if len(refND) == 0 {
+				t.Fatal("empty NDJSON trace")
+			}
+			if !bytes.Contains(refND, []byte(`"score"`)) {
+				t.Fatal("scoring pass produced no score-category span")
+			}
+			run := 0
+			for _, procs := range []int{1, 8} {
+				old := runtime.GOMAXPROCS(procs)
+				for rep := 0; rep < 2; rep++ {
+					run++
+					nd, metrics, explain := driveScoreObs(t, workers)
+					if !bytes.Equal(nd, refND) {
+						t.Errorf("run %d (GOMAXPROCS=%d): ndjson trace differs", run, procs)
+					}
+					if !bytes.Equal(metrics, refMetrics) {
+						t.Errorf("run %d (GOMAXPROCS=%d): metrics differ", run, procs)
+					}
+					if !bytes.Equal(explain, refExplain) {
+						t.Errorf("run %d (GOMAXPROCS=%d): explain profile differs", run, procs)
+					}
+				}
+				runtime.GOMAXPROCS(old)
+				if t.Failed() {
+					break
+				}
+			}
+		})
+	}
+}

@@ -78,6 +78,7 @@ type Engine struct {
 	meter  *sim.Meter
 	bp     *storage.BufferPool
 	tables map[string]*Table
+	models map[string]*Model // registered scoring models, by name (model.go)
 	tmpSeq int
 	tracer *obs.Tracer
 }
@@ -92,6 +93,7 @@ func New(meter *sim.Meter, bufferPages int) *Engine {
 		meter:  meter,
 		bp:     storage.NewBufferPool(meter, bufferPages),
 		tables: make(map[string]*Table),
+		models: make(map[string]*Model),
 	}
 }
 
@@ -141,7 +143,19 @@ func (e *Engine) DropTable(name string) error {
 	}
 	e.bp.Invalidate(t.heap)
 	delete(e.tables, name)
+	// Dropping a model's catalog table unregisters the model: the cached
+	// copy must not outlive its persisted form.
+	if rest, ok := cutPrefix(name, ModelCatalogPrefix); ok {
+		delete(e.models, rest)
+	}
 	return nil
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
 }
 
 // Table looks up a table by name.

@@ -128,8 +128,34 @@ func (e *Engine) execStmt(sql string) (*ResultSet, error) {
 		return nil, e.execDelete(s)
 	case *sqlparser.DropTable:
 		return nil, e.DropTable(s.Name)
+	case *sqlparser.ScoreTable:
+		return e.execScore(s)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// execScore runs SCORE TABLE t USING model [WORKERS n] through the
+// vectorized scoring operator and materializes one "class" row per table
+// row, charging result transmission like any SELECT.
+func (e *Engine) execScore(s *sqlparser.ScoreTable) (*ResultSet, error) {
+	t, err := e.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	m, err := e.Model(s.Model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.ScoreTable(t, m, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Cols: []string{"class"}, Rows: make([][]Val, len(res.Classes))}
+	for i, c := range res.Classes {
+		rs.Rows[i] = []Val{{I: int64(c)}}
+	}
+	e.meter.Charge(sim.CtrRowsTransmitted, e.meter.Costs().RowTransmit, int64(len(rs.Rows)))
+	return rs, nil
 }
 
 // MustExec executes sql and panics on error; intended for test and example
@@ -178,7 +204,7 @@ func (e *Engine) execDelete(s *sqlparser.Delete) error {
 	}
 	var pred func(data.Row) (bool, error)
 	if s.Where != nil {
-		ev, err := compileExpr(s.Where, t)
+		ev, err := e.compileExpr(s.Where, t)
 		if err != nil {
 			return err
 		}
@@ -233,7 +259,9 @@ type colResolver interface {
 }
 
 // compileExpr compiles a non-aggregate expression against a column resolver.
-func compileExpr(ex sqlparser.Expr, t colResolver) (evaluator, error) {
+// It is an Engine method because CLASSIFY resolves models from the catalog
+// and charges scoring costs to the engine's meter.
+func (e *Engine) compileExpr(ex sqlparser.Expr, t colResolver) (evaluator, error) {
 	switch x := ex.(type) {
 	case *sqlparser.IntLit:
 		v := Val{I: x.Val}
@@ -248,7 +276,7 @@ func compileExpr(ex sqlparser.Expr, t colResolver) (evaluator, error) {
 		}
 		return func(r data.Row) (Val, error) { return Val{I: int64(r[ci])}, nil }, nil
 	case *sqlparser.NotExpr:
-		sub, err := compileExpr(x.E, t)
+		sub, err := e.compileExpr(x.E, t)
 		if err != nil {
 			return nil, err
 		}
@@ -263,11 +291,11 @@ func compileExpr(ex sqlparser.Expr, t colResolver) (evaluator, error) {
 			return Val{I: b2i(v.I == 0)}, nil
 		}, nil
 	case *sqlparser.BinaryExpr:
-		l, err := compileExpr(x.L, t)
+		l, err := e.compileExpr(x.L, t)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileExpr(x.R, t)
+		r, err := e.compileExpr(x.R, t)
 		if err != nil {
 			return nil, err
 		}
@@ -283,10 +311,92 @@ func compileExpr(ex sqlparser.Expr, t colResolver) (evaluator, error) {
 			}
 			return applyBinary(op, lv, rv)
 		}, nil
+	case *sqlparser.CaseExpr:
+		return e.compileCase(x, t)
+	case *sqlparser.ClassifyExpr:
+		return e.compileClassify(x, t)
 	case *sqlparser.CountStar, *sqlparser.AggExpr:
 		return nil, fmt.Errorf("engine: aggregate %s in a non-aggregate context", ex)
 	}
 	return nil, fmt.Errorf("engine: unsupported expression %T", ex)
+}
+
+// compileCase compiles a searched CASE: arms evaluate in order, the first
+// true condition wins, and a missing ELSE yields 0 (the subset's NULL).
+func (e *Engine) compileCase(x *sqlparser.CaseExpr, t colResolver) (evaluator, error) {
+	type arm struct{ cond, then evaluator }
+	arms := make([]arm, len(x.Whens))
+	for i, w := range x.Whens {
+		cond, err := e.compileExpr(w.Cond, t)
+		if err != nil {
+			return nil, err
+		}
+		then, err := e.compileExpr(w.Then, t)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{cond, then}
+	}
+	var els evaluator
+	if x.Else != nil {
+		var err error
+		if els, err = e.compileExpr(x.Else, t); err != nil {
+			return nil, err
+		}
+	}
+	return func(r data.Row) (Val, error) {
+		for _, a := range arms {
+			v, err := a.cond(r)
+			if err != nil {
+				return Val{}, err
+			}
+			if truthy(v) {
+				return a.then(r)
+			}
+		}
+		if els == nil {
+			return Val{I: 0}, nil
+		}
+		return els(r)
+	}, nil
+}
+
+// compileClassify compiles CLASSIFY(model, a1, ..): resolve the registered
+// model once at compile time, then per row assemble the argument vector and
+// walk the model, charging the same per-row scoring costs as the vectorized
+// operator (one ScoreRowEval plus one ModelNodeProbe per visited node).
+func (e *Engine) compileClassify(x *sqlparser.ClassifyExpr, t colResolver) (evaluator, error) {
+	m, err := e.Model(x.Model)
+	if err != nil {
+		return nil, err
+	}
+	if len(x.Args) != m.Cols {
+		return nil, fmt.Errorf("engine: CLASSIFY(%s, ...): %d arguments, model wants %d", x.Model, len(x.Args), m.Cols)
+	}
+	argEvals := make([]evaluator, len(x.Args))
+	for i, a := range x.Args {
+		if argEvals[i], err = e.compileExpr(a, t); err != nil {
+			return nil, err
+		}
+	}
+	costs := e.meter.Costs()
+	row := make(data.Row, len(argEvals))
+	return func(r data.Row) (Val, error) {
+		for i, ev := range argEvals {
+			v, err := ev(r)
+			if err != nil {
+				return Val{}, err
+			}
+			if v.Str {
+				return Val{}, fmt.Errorf("engine: CLASSIFY(%s, ...): string argument %d", x.Model, i+1)
+			}
+			row[i] = data.Value(v.I)
+		}
+		n, probes := m.predictNode(row)
+		e.meter.Charge(sim.CtrScoreRows, costs.ScoreRowEval, 1)
+		e.meter.Charge(sim.CtrModelProbes, costs.ModelNodeProbe, probes)
+		return Val{I: int64(m.Nodes[n].Class)}, nil
+	}, nil
 }
 
 // evalConst evaluates an expression with no column references.
@@ -542,7 +652,7 @@ func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
 	// Compile WHERE.
 	var where evaluator
 	if c.Where != nil {
-		where, err = compileExpr(c.Where, t)
+		where, err = e.compileExpr(c.Where, t)
 		if err != nil {
 			return nil, err
 		}
@@ -559,7 +669,7 @@ func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
 	for _, si := range c.Items {
 		if si.Star {
 			for _, col := range rel.cols {
-				ev, _ := compileExpr(&sqlparser.ColumnRef{Name: col}, t)
+				ev, _ := e.compileExpr(&sqlparser.ColumnRef{Name: col}, t)
 				items = append(items, item{name: col, eval: ev})
 			}
 			continue
@@ -573,14 +683,14 @@ func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
 			items = append(items, item{name: name, agg: &aggState{fn: "COUNT*"}})
 			hasAgg = true
 		case *sqlparser.AggExpr:
-			argEval, err := compileExpr(x.Arg, t)
+			argEval, err := e.compileExpr(x.Arg, t)
 			if err != nil {
 				return nil, err
 			}
 			items = append(items, item{name: name, agg: &aggState{fn: x.Func, arg: argEval}})
 			hasAgg = true
 		default:
-			ev, err := compileExpr(si.Expr, t)
+			ev, err := e.compileExpr(si.Expr, t)
 			if err != nil {
 				return nil, err
 			}
@@ -597,7 +707,7 @@ func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
 	// Group-by key evaluators.
 	var groupEvals []evaluator
 	for _, g := range c.GroupBy {
-		ev, err := compileExpr(g, t)
+		ev, err := e.compileExpr(g, t)
 		if err != nil {
 			return nil, err
 		}
@@ -680,7 +790,7 @@ func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
 	var hiddenTpl []*aggState
 	var havingFn func(hidden []*aggState, rep data.Row) (Val, error)
 	if c.Having != nil {
-		havingFn, err = compileHaving(c.Having, t, &hiddenTpl)
+		havingFn, err = e.compileHaving(c.Having, t, &hiddenTpl)
 		if err != nil {
 			return nil, err
 		}
@@ -795,7 +905,7 @@ func (e *Engine) execCore(c *sqlparser.SelectCore) (*ResultSet, error) {
 // registered as hidden per-group aggregate templates (appended to tpl) and
 // read back by index at evaluation time; column references evaluate against
 // the group's representative row.
-func compileHaving(ex sqlparser.Expr, t colResolver, tpl *[]*aggState) (func([]*aggState, data.Row) (Val, error), error) {
+func (e *Engine) compileHaving(ex sqlparser.Expr, t colResolver, tpl *[]*aggState) (func([]*aggState, data.Row) (Val, error), error) {
 	switch x := ex.(type) {
 	case *sqlparser.IntLit:
 		v := Val{I: x.Val}
@@ -818,7 +928,7 @@ func compileHaving(ex sqlparser.Expr, t colResolver, tpl *[]*aggState) (func([]*
 			return hidden[idx].value(), nil
 		}, nil
 	case *sqlparser.AggExpr:
-		argEval, err := compileExpr(x.Arg, t)
+		argEval, err := e.compileExpr(x.Arg, t)
 		if err != nil {
 			return nil, err
 		}
@@ -828,7 +938,7 @@ func compileHaving(ex sqlparser.Expr, t colResolver, tpl *[]*aggState) (func([]*
 			return hidden[idx].value(), nil
 		}, nil
 	case *sqlparser.NotExpr:
-		sub, err := compileHaving(x.E, t, tpl)
+		sub, err := e.compileHaving(x.E, t, tpl)
 		if err != nil {
 			return nil, err
 		}
@@ -840,11 +950,11 @@ func compileHaving(ex sqlparser.Expr, t colResolver, tpl *[]*aggState) (func([]*
 			return Val{I: b2i(!truthy(v))}, nil
 		}, nil
 	case *sqlparser.BinaryExpr:
-		l, err := compileHaving(x.L, t, tpl)
+		l, err := e.compileHaving(x.L, t, tpl)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileHaving(x.R, t, tpl)
+		r, err := e.compileHaving(x.R, t, tpl)
 		if err != nil {
 			return nil, err
 		}

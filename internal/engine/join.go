@@ -188,7 +188,7 @@ func (r *relation) iterate(fn func(data.Row) error) error {
 	// Residual filter over joined rows.
 	var residual evaluator
 	if r.residual != nil {
-		ev, err := compileExpr(r.residual, r)
+		ev, err := r.eng.compileExpr(r.residual, r)
 		if err != nil {
 			return err
 		}

@@ -315,4 +315,42 @@ var checks = map[string]func(*Experiment) error{
 		}
 		return nil
 	},
+	"scoring": func(e *Experiment) error {
+		eng, client := e.Series[0].Points, e.Series[1].Points
+		if len(eng) == 0 || len(eng) != len(client) {
+			return fmt.Errorf("scoring: malformed series (%d engine, %d client points)", len(eng), len(client))
+		}
+		for i := range eng {
+			// The headline claim, at every worker count: shipping the model
+			// to the data beats shipping the data to the model on time,
+			// throughput and modeled page I/O.
+			if eng[i].Seconds >= client[i].Seconds {
+				return fmt.Errorf("workers=%g: in-engine %.4fs, in-client %.4fs — no scoring win",
+					eng[i].X, eng[i].Seconds, client[i].Seconds)
+			}
+			ep, cp := eng[i].Counters["server_pages_read"], client[i].Counters["server_pages_read"]
+			if ep >= cp {
+				return fmt.Errorf("workers=%g: in-engine read %d pages, in-client %d — no page win",
+					eng[i].X, ep, cp)
+			}
+			if eng[i].Counters["rows_per_sec"] <= client[i].Counters["rows_per_sec"] {
+				return fmt.Errorf("workers=%g: in-engine %d rows/s, in-client %d — no throughput win",
+					eng[i].X, eng[i].Counters["rows_per_sec"], client[i].Counters["rows_per_sec"])
+			}
+			// Both arms must actually have scored the whole table the same way.
+			if eng[i].Counters["score_rows"] != client[i].Counters["score_rows"] {
+				return fmt.Errorf("workers=%g: engine scored %d rows, client %d",
+					eng[i].X, eng[i].Counters["score_rows"], client[i].Counters["score_rows"])
+			}
+			if eng[i].Counters["model_node_probes"] == 0 {
+				return fmt.Errorf("workers=%g: engine walked no model nodes", eng[i].X)
+			}
+		}
+		// Worker scaling: the parallel operator at 8 workers beats itself at 1.
+		if last, first := eng[len(eng)-1], eng[0]; last.Seconds >= first.Seconds {
+			return fmt.Errorf("no worker scaling: %.4fs at workers=%g vs %.4fs at workers=%g",
+				last.Seconds, last.X, first.Seconds, first.X)
+		}
+		return nil
+	},
 }

@@ -266,6 +266,7 @@ func Runners() []Runner {
 		{"skew", SkewPartitioning, "histogram-guided vs equal-width splits on a clustered table"},
 		{"columnar", ColumnarStorage, "columnar row groups vs the row heap, uniform and clustered"},
 		{"serve", ServeFleet, "concurrent multi-tenant builds, scan sharing on/off"},
+		{"scoring", Scoring, "in-engine vectorized batch scoring vs in-client row loop"},
 	}
 }
 

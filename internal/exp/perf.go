@@ -12,9 +12,11 @@ import (
 	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/dtree"
+	"repro/internal/engine"
 	"repro/internal/mw"
 	"repro/internal/obs"
 	"repro/internal/obs/profile"
+	"repro/internal/sim"
 )
 
 // The perf-regression gate. CollectPerf profiles a fixed set of build
@@ -42,12 +44,17 @@ type PerfHistory struct {
 	Entries []PerfEntry `json:"entries"`
 }
 
-// perfScenario is one gated build configuration.
+// perfScenario is one gated configuration: by default a tree build driven
+// through BuildTree, or an arbitrary drive when run is set.
 type perfScenario struct {
 	name string
 	gen  func(scale float64) (*data.Dataset, error)
 	cfg  func(ds *data.Dataset) mw.Config
 	opt  func(ds *data.Dataset) dtree.Options
+	// run, when non-nil, replaces the default BuildTree drive; it must
+	// route all simulated work through an engine attached to env so the
+	// profile sees exactly one proc.
+	run func(env *Env, ds *data.Dataset) error
 }
 
 func perfScenarios() []perfScenario {
@@ -98,6 +105,40 @@ func perfScenarios() []perfScenario {
 			},
 			opt: shallow,
 		},
+		{
+			name: "score-batch",
+			gen: func(scale float64) (*data.Dataset, error) {
+				return datagen.GenerateCensus(datagen.CensusConfig{Rows: scaled(16000, scale), Seed: 64})
+			},
+			// The vectorized in-engine scoring operator at four workers:
+			// gates the scoring kernel's block/probe cost shape the same way
+			// the build scenarios gate the counting pipeline.
+			run: func(env *Env, ds *data.Dataset) error {
+				tree, err := dtree.BuildInMemory(ds, dtree.Options{MaxDepth: 6})
+				if err != nil {
+					return err
+				}
+				model, err := dtree.Compile(tree, "score")
+				if err != nil {
+					return err
+				}
+				meter := sim.NewDefaultMeter()
+				eng := engine.New(meter, 0)
+				if _, err := engine.NewServer(eng, "cases", ds); err != nil {
+					return err
+				}
+				env.attach(meter, eng, &mw.Config{})
+				if err := eng.RegisterModel(model); err != nil {
+					return err
+				}
+				tbl, err := eng.Table("cases")
+				if err != nil {
+					return err
+				}
+				_, err = eng.ScoreTable(tbl, model, 4)
+				return err
+			},
+		},
 	}
 }
 
@@ -114,7 +155,11 @@ func CollectPerf(scale float64) ([]PerfSnapshot, string, error) {
 		}
 		col := obs.NewCollector(true, false)
 		env := &Env{Obs: col, Label: "perf-" + sc.name}
-		if _, err := BuildTree(env, ds, sc.cfg(ds), sc.opt(ds)); err != nil {
+		if sc.run != nil {
+			if err := sc.run(env, ds); err != nil {
+				return nil, "", fmt.Errorf("perf %s: run: %w", sc.name, err)
+			}
+		} else if _, err := BuildTree(env, ds, sc.cfg(ds), sc.opt(ds)); err != nil {
 			return nil, "", fmt.Errorf("perf %s: build: %w", sc.name, err)
 		}
 		p := profile.Compute(col.Trace, col.Metrics)

@@ -1,0 +1,120 @@
+package mw
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// Scorer is one in-database scoring session: a registered model applied to
+// the server's whole table through the engine's vectorized scoring operator.
+// A scoring session is the serving-side dual of a tree build — it is admitted
+// to the same fleet, simulates on its own virtual clock, and can attach to
+// the same shared physical scan a cohort of builds rides — but it completes
+// in a single scan pass, so its lifecycle is just RunSolo (a private
+// partitioned scan) or BeginShared/FinishShared (one consumer on the
+// cohort's scan).
+type Scorer struct {
+	srv     *engine.Server
+	model   *engine.Model
+	workers int
+
+	res  *engine.ScoreResult
+	cons *engine.ScoreConsumer
+	ssp  *obs.Span
+	snap sim.Snapshot
+	done bool
+}
+
+// NewScorer creates a scoring session for the server's table. srv should be
+// a session-scoped View so scoring charges land on the session's clock.
+func NewScorer(srv *engine.Server, model *engine.Model, workers int) (*Scorer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("mw: scorer needs a model")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scorer{srv: srv, model: model, workers: workers}, nil
+}
+
+// Model returns the model the session scores with.
+func (sc *Scorer) Model() *engine.Model { return sc.model }
+
+// Done reports whether the session has produced its predictions.
+func (sc *Scorer) Done() bool { return sc.done }
+
+// Result returns the predictions (nil until the session ran).
+func (sc *Scorer) Result() *engine.ScoreResult { return sc.res }
+
+// Shareable reports whether the session's (single) scan can join a shared
+// columnar pass: it has not run yet and the table has a columnar copy.
+func (sc *Scorer) Shareable() bool {
+	return !sc.done && sc.srv.ColumnarAvailable()
+}
+
+// RunSolo scores the table with the session's own partitioned scan, paying
+// its pages privately — the path a lone scoring session takes.
+func (sc *Scorer) RunSolo() error {
+	if sc.done {
+		return fmt.Errorf("mw: scorer already ran")
+	}
+	res, err := sc.srv.ScoreColumnar(sc.model, sc.workers)
+	if err != nil {
+		return err
+	}
+	sc.res = res
+	sc.done = true
+	return nil
+}
+
+// BeginShared opens the session's attachment to a cohort's shared scan: a
+// consumer charging scoring work to the session meter, plus the columns the
+// physical scan must read for it. The caller must complete the pass with
+// FinishShared.
+func (sc *Scorer) BeginShared() (*engine.ScanConsumer, []int, error) {
+	if sc.done {
+		return nil, nil, fmt.Errorf("mw: scorer already ran")
+	}
+	if !sc.srv.ColumnarAvailable() {
+		return nil, nil, fmt.Errorf("mw: shared scoring needs a columnar copy")
+	}
+	meter := sc.srv.Meter()
+	sc.ssp = sc.srv.Tracer().Start(obs.CatScore, "score").
+		AttrStr("model", sc.model.Name).
+		Attr("model_nodes", int64(len(sc.model.Nodes))).
+		Attr("shared", 1)
+	if sc.ssp != nil {
+		sc.snap = meter.Snapshot()
+	}
+	sc.cons = engine.NewScoreConsumer(sc.model, meter)
+	return &engine.ScanConsumer{
+		Filter: predicate.MatchAll(),
+		Lane:   meter,
+		Fn:     sc.cons.Consume,
+	}, sc.cons.NeedCols(), nil
+}
+
+// FinishShared completes the session after the shared scan ran its
+// consumer: the session clock absorbs the cohort's shared I/O wait and the
+// predictions materialize.
+func (sc *Scorer) FinishShared(ioElapsedNS int64) {
+	if sc.cons == nil {
+		panic("mw: FinishShared without BeginShared")
+	}
+	meter := sc.srv.Meter()
+	if ioElapsedNS > 0 {
+		meter.Advance(ioElapsedNS)
+	}
+	if sc.ssp != nil {
+		sc.ssp.SetRows(meter.CountSince(sc.snap, sim.CtrScoreRows)).
+			Attr("model_node_probes", meter.CountSince(sc.snap, sim.CtrModelProbes))
+	}
+	sc.ssp.End()
+	sc.res = sc.cons.Result()
+	sc.cons = nil
+	sc.done = true
+}

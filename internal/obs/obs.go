@@ -43,6 +43,7 @@ const (
 	CatSQL      = "sql"      // one SQL statement at the server
 	CatCursor   = "cursor"   // one cursor scan (server, keyset, TID join, file)
 	CatAux      = "aux"      // auxiliary server structure build (§4.3.3)
+	CatScore    = "score"    // one in-database scoring pass over a table
 )
 
 // Attr is one extra key/value attribute on a span. S is used when non-empty,

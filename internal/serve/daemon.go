@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/sqlparser"
 	"repro/internal/wire"
 )
 
@@ -179,18 +180,31 @@ func (d *Daemon) handle(conn net.Conn) {
 // serveQuery executes one statement and streams its result. Statement
 // failures are reported in-band with a TError frame; the returned error is
 // non-nil only for connection-level write failures.
+//
+// BUILD TREE commands and SCORE TABLE statements against the served table go
+// through the fleet queue — concurrent builds and scoring sessions form one
+// cohort and share scans. Everything else (including SCORE TABLE against
+// other tables) executes directly on the engine.
 func (d *Daemon) serveQuery(conn net.Conn, sql string) error {
-	var rs *resultStream
+	var rs frameWriter
 	var err error
-	if isBuildStmt(sql) {
+	switch {
+	case isBuildStmt(sql):
 		rs, err = d.serveBuild(sql)
-	} else {
+	case isScoreStmt(sql):
+		rs, err = d.serveScore(sql)
+	default:
 		rs, err = d.serveSQL(sql)
 	}
 	if err != nil {
 		return wire.WriteFrame(conn, wire.TError, wire.Error{Msg: err.Error()})
 	}
 	return rs.write(conn)
+}
+
+// frameWriter streams one statement result over the wire.
+type frameWriter interface {
+	write(conn net.Conn) error
 }
 
 // resultStream is a fully materialized statement result awaiting framing.
@@ -235,15 +249,28 @@ func (d *Daemon) serveSQL(sql string) (*resultStream, error) {
 	return rs, nil
 }
 
-// buildReq is one client's BUILD TREE command waiting for the coordinator.
+// buildReq is one client's fleet request — a BUILD TREE command or a SCORE
+// TABLE statement against the served table — waiting for the coordinator.
 type buildReq struct {
 	opt    dtree.Options
 	output string // "stats", "tree" or "trace"
-	done   chan buildResp
+	model  string // BUILD ... MODEL name: register the compiled tree
+
+	score *scoreSpec // non-nil: a scoring request, not a build
+
+	done chan buildResp
+}
+
+// scoreSpec is a queued SCORE TABLE request; m resolves under the engine
+// mutex when the cohort runs.
+type scoreSpec struct {
+	model   string
+	workers int
+	m       *engine.Model
 }
 
 type buildResp struct {
-	rs  *resultStream
+	rs  frameWriter
 	err error
 }
 
@@ -254,10 +281,18 @@ func isBuildStmt(sql string) bool {
 	return len(f) >= 2 && f[0] == "BUILD" && f[1] == "TREE"
 }
 
+// isScoreStmt reports whether the statement is a SCORE statement.
+func isScoreStmt(sql string) bool {
+	f := strings.Fields(strings.ToUpper(sql))
+	return len(f) >= 1 && f[0] == "SCORE"
+}
+
 // parseBuild parses BUILD TREE [MAXDEPTH n] [MINROWS n] [WORKERS n]
-// [OUTPUT STATS|TREE|TRACE]. WORKERS is accepted for symmetry with the
-// middleware config but applies fleet-wide, so it must match the daemon's
-// configured worker count.
+// [MODEL name] [OUTPUT STATS|TREE|TRACE]. WORKERS is accepted for symmetry
+// with the middleware config but applies fleet-wide, so it must match the
+// daemon's configured worker count. MODEL registers the finished tree in the
+// engine's model catalog under the given name, making it scoreable by SCORE
+// TABLE and CLASSIFY() the moment the build responds.
 func (d *Daemon) parseBuild(sql string) (*buildReq, error) {
 	f := strings.Fields(sql)
 	req := &buildReq{output: "stats", done: make(chan buildResp, 1)}
@@ -298,6 +333,12 @@ func (d *Daemon) parseBuild(sql string) (*buildReq, error) {
 				return nil, fmt.Errorf("served: WORKERS %d does not match the daemon's configured %d",
 					n, d.cfg.Fleet.Base.Workers)
 			}
+		case "MODEL":
+			if i >= len(f) {
+				return nil, fmt.Errorf("served: MODEL needs a name")
+			}
+			req.model = f[i]
+			i++
 		case "OUTPUT":
 			if i >= len(f) {
 				return nil, fmt.Errorf("served: OUTPUT needs STATS, TREE or TRACE")
@@ -318,11 +359,38 @@ func (d *Daemon) parseBuild(sql string) (*buildReq, error) {
 }
 
 // serveBuild queues the build with the coordinator and waits for its result.
-func (d *Daemon) serveBuild(sql string) (*resultStream, error) {
+func (d *Daemon) serveBuild(sql string) (frameWriter, error) {
 	req, err := d.parseBuild(sql)
 	if err != nil {
 		return nil, err
 	}
+	return d.enqueue(req)
+}
+
+// serveScore handles a SCORE statement: scoring the served table goes
+// through the fleet queue (joining any concurrent cohort's shared scan);
+// scoring any other table executes directly on the engine.
+func (d *Daemon) serveScore(sql string) (frameWriter, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := st.(*sqlparser.ScoreTable)
+	if !ok {
+		return nil, fmt.Errorf("served: unexpected %T for a SCORE statement", st)
+	}
+	if sc.Table != d.srv.TableName() {
+		return d.serveSQL(sql)
+	}
+	req := &buildReq{
+		score: &scoreSpec{model: sc.Model, workers: sc.Workers},
+		done:  make(chan buildResp, 1),
+	}
+	return d.enqueue(req)
+}
+
+// enqueue hands a request to the coordinator and waits for its result.
+func (d *Daemon) enqueue(req *buildReq) (frameWriter, error) {
 	d.bmu.Lock()
 	if d.closed {
 		d.bmu.Unlock()
@@ -333,6 +401,41 @@ func (d *Daemon) serveBuild(sql string) (*resultStream, error) {
 	d.bmu.Unlock()
 	resp := <-req.done
 	return resp.rs, resp.err
+}
+
+// scoreStream frames a scoring result: a header naming the class column and
+// the per-class count columns, then TScoredBatch frames of BatchRows rows
+// (classes plus distributions), then TDone — so the client starts consuming
+// predictions before the last batch is framed.
+type scoreStream struct {
+	model *engine.Model
+	res   *engine.ScoreResult
+}
+
+func (ss *scoreStream) write(conn net.Conn) error {
+	cols := []string{"class"}
+	for c := 0; c < ss.model.Classes; c++ {
+		cols = append(cols, fmt.Sprintf("c%d", c))
+	}
+	if err := wire.WriteFrame(conn, wire.TResultHeader, wire.ResultHeader{Cols: cols}); err != nil {
+		return err
+	}
+	n := len(ss.res.Classes)
+	for base := 0; base < n; base += wire.BatchRows {
+		hi := base + wire.BatchRows
+		if hi > n {
+			hi = n
+		}
+		b := wire.ScoredBatch{Model: ss.model.Name}
+		for i := base; i < hi; i++ {
+			b.Classes = append(b.Classes, int32(ss.res.Classes[i]))
+			b.Dists = append(b.Dists, ss.res.Dist(ss.model, i))
+		}
+		if err := wire.WriteFrame(conn, wire.TScoredBatch, b); err != nil {
+			return err
+		}
+	}
+	return wire.WriteFrame(conn, wire.TDone, wire.Done{Rows: int64(n)})
 }
 
 // buildLoop is the coordinator: it drains the build queue into fleet runs,
@@ -356,13 +459,20 @@ func (d *Daemon) buildLoop() {
 	}
 }
 
-// runFleet executes one cohort of builds as a fleet run and answers every
-// request. The arrival schedule is virtual and seeded, so a cohort's results
-// do not depend on network timing.
+// runFleet executes one cohort — builds and scoring sessions — as a fleet
+// run and answers every request. The arrival schedule is virtual and seeded,
+// so a cohort's results do not depend on network timing.
 func (d *Daemon) runFleet(batch []*buildReq, seq int64) {
+	answered := make([]bool, len(batch))
+	answer := func(i int, resp buildResp) {
+		if !answered[i] {
+			answered[i] = true
+			batch[i].done <- resp
+		}
+	}
 	fail := func(err error) {
-		for _, r := range batch {
-			r.done <- buildResp{err: err}
+		for i := range batch {
+			answer(i, buildResp{err: err})
 		}
 	}
 	wantTrace := false
@@ -382,17 +492,39 @@ func (d *Daemon) runFleet(batch []*buildReq, seq int64) {
 	}
 	arr := sim.Arrivals(d.cfg.Seed+seq, len(batch), d.cfg.MeanGapNS)
 	sessions := make([]*Session, len(batch))
+	opened := false
 	for i, r := range batch {
+		if r.score != nil {
+			// Resolve the model under the engine mutex; an unknown model
+			// fails its own request, not the cohort.
+			m, err := d.srv.Engine().Model(r.score.model)
+			if err != nil {
+				answer(i, buildResp{err: err})
+				continue
+			}
+			r.score.m = m
+			s, err := fleet.OpenScore("", m, r.score.workers, arr[i])
+			if err != nil {
+				fail(err)
+				return
+			}
+			sessions[i] = s
+			opened = true
+			continue
+		}
 		s, err := fleet.Open("", r.opt, arr[i])
 		if err != nil {
 			fail(err)
 			return
 		}
 		sessions[i] = s
+		opened = true
 	}
-	if err := fleet.Run(); err != nil {
-		fail(err)
-		return
+	if opened {
+		if err := fleet.Run(); err != nil {
+			fail(err)
+			return
+		}
 	}
 
 	var traceLines []string
@@ -405,7 +537,26 @@ func (d *Daemon) runFleet(batch []*buildReq, seq int64) {
 		traceLines = strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
 	}
 	for i, r := range batch {
-		r.done <- buildResp{rs: buildResult(r, sessions[i], fleet, traceLines)}
+		if answered[i] {
+			continue
+		}
+		if r.score != nil {
+			answer(i, buildResp{rs: &scoreStream{model: r.score.m, res: sessions[i].Score()}})
+			continue
+		}
+		if r.model != "" {
+			// Register the compiled tree while still holding the engine
+			// mutex, so the model is scoreable the moment the build responds.
+			m, err := dtree.Compile(sessions[i].Tree(), r.model)
+			if err == nil {
+				err = d.srv.Engine().RegisterModel(m)
+			}
+			if err != nil {
+				answer(i, buildResp{err: err})
+				continue
+			}
+		}
+		answer(i, buildResp{rs: buildResult(r, sessions[i], fleet, traceLines)})
 	}
 }
 

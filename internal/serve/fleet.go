@@ -43,8 +43,10 @@ type FleetConfig struct {
 	ScanSharing bool
 }
 
-// Session is one tenant build: its virtual clock, middleware and resumable
-// builder, created at admission time.
+// Session is one tenant unit of work — a tree build, or an in-database
+// scoring pass over the served table — with its own virtual clock, created
+// at admission time. Builds carry a middleware and resumable builder;
+// scoring sessions carry a Scorer and finish in one scan.
 type Session struct {
 	ID    int
 	Label string
@@ -52,17 +54,28 @@ type Session struct {
 	opt       dtree.Options
 	arrivalNS int64
 
+	// Scoring sessions only (model non-nil marks the kind).
+	model   *engine.Model
+	workers int
+
 	meter    *sim.Meter
 	m        *mw.Middleware
 	b        *dtree.Builder
+	scorer   *mw.Scorer
 	tree     *dtree.Tree
+	score    *engine.ScoreResult
 	finishNS int64
 	admitted bool
 	done     bool
 }
 
-// Tree returns the session's finished tree (nil before Run completes).
+// Tree returns the session's finished tree (nil before Run completes, and
+// always nil for scoring sessions).
 func (s *Session) Tree() *dtree.Tree { return s.tree }
+
+// Score returns a scoring session's predictions (nil before Run completes,
+// and always nil for build sessions).
+func (s *Session) Score() *engine.ScoreResult { return s.score }
 
 // Meter returns the session's virtual clock (nil before admission).
 func (s *Session) Meter() *sim.Meter { return s.meter }
@@ -156,6 +169,30 @@ func (f *Fleet) Open(label string, opt dtree.Options, arrivalNS int64) (*Session
 	return s, nil
 }
 
+// OpenScore registers a scoring session: the model applied to the served
+// table with the given scan parallelism (workers < 1 scores single-lane).
+// Scoring sessions obey the same arrival-order and admission rules as
+// builds and join shared scans with them.
+func (f *Fleet) OpenScore(label string, model *engine.Model, workers int, arrivalNS int64) (*Session, error) {
+	if f.ran {
+		return nil, fmt.Errorf("serve: fleet already ran")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("serve: scoring session needs a model")
+	}
+	if n := len(f.sessions); n > 0 && arrivalNS < f.sessions[n-1].arrivalNS {
+		return nil, fmt.Errorf("serve: session arrivals must be non-decreasing")
+	}
+	f.lastID++
+	s := &Session{ID: f.lastID, Label: label, model: model, workers: workers, arrivalNS: arrivalNS}
+	if s.Label == "" {
+		s.Label = fmt.Sprintf("score-%d", s.ID)
+	}
+	f.sessions = append(f.sessions, s)
+	f.byID[s.ID] = s
+	return s, nil
+}
+
 // Sessions returns the fleet's sessions in arrival order.
 func (f *Fleet) Sessions() []*Session { return f.sessions }
 
@@ -206,6 +243,15 @@ func (f *Fleet) admit(s *Session) error {
 		cfg.Metrics = pm
 	}
 	view := f.srv.View(s.meter, tr)
+	if s.model != nil {
+		sc, err := mw.NewScorer(view, s.model, s.workers)
+		if err != nil {
+			return err
+		}
+		s.scorer = sc
+		s.admitted = true
+		return nil
+	}
 	m, err := mw.New(view, cfg)
 	if err != nil {
 		return err
@@ -231,7 +277,9 @@ func (f *Fleet) reslice(running []*Session) {
 		slice = 1
 	}
 	for _, s := range running {
-		s.m.SetMemoryBudget(slice)
+		if s.m != nil { // scoring sessions hold no CC memory
+			s.m.SetMemoryBudget(slice)
+		}
 	}
 }
 
@@ -292,7 +340,11 @@ func (f *Fleet) Run() (err error) {
 		var cohort []*Session
 		if f.cfg.ScanSharing {
 			for _, s := range running {
-				if s.m.NextBatchShareable() {
+				if s.scorer != nil {
+					if s.scorer.Shareable() {
+						cohort = append(cohort, s)
+					}
+				} else if s.m.NextBatchShareable() {
 					cohort = append(cohort, s)
 				}
 			}
@@ -310,12 +362,18 @@ func (f *Fleet) Run() (err error) {
 				return fmt.Errorf("serve: no running session has an open clock")
 			}
 			s := f.byID[id]
-			results, err := s.m.Step()
-			if err != nil {
-				return err
-			}
-			if err := s.b.Feed(results); err != nil {
-				return err
+			if s.scorer != nil {
+				if err := s.scorer.RunSolo(); err != nil {
+					return err
+				}
+			} else {
+				results, err := s.m.Step()
+				if err != nil {
+					return err
+				}
+				if err := s.b.Feed(results); err != nil {
+					return err
+				}
 			}
 		}
 
@@ -324,20 +382,28 @@ func (f *Fleet) Run() (err error) {
 		out := running[:0]
 		retired := false
 		for _, s := range running {
-			if s.b.Pending() > 0 {
-				out = append(out, s)
-				continue
+			if s.scorer != nil {
+				if !s.scorer.Done() {
+					out = append(out, s)
+					continue
+				}
+				s.score = s.scorer.Result()
+			} else {
+				if s.b.Pending() > 0 {
+					out = append(out, s)
+					continue
+				}
+				tree, err := s.b.Finish()
+				if err != nil {
+					return err
+				}
+				s.tree = tree
 			}
-			tree, err := s.b.Finish()
-			if err != nil {
-				return err
-			}
-			s.tree = tree
 			s.finishNS = int64(s.meter.Now())
 			if s.finishNS > f.freeNS {
 				f.freeNS = s.finishNS
 			}
-			if err := s.m.Close(); err != nil {
+			if err := s.Close(); err != nil {
 				return err
 			}
 			f.clocks.Close(s.ID)
@@ -351,18 +417,29 @@ func (f *Fleet) Run() (err error) {
 	}
 }
 
-// sharedRound runs one batch for every cohort session against a single
-// physical columnar scan. Sessions begin in id order; batches that turn out
-// not to be shareable after scheduling execute solo inside Begin. The
-// physical scan charges the cohort's cursor open and page I/O once, to the
-// fleet io meter, and every participant's clock then absorbs that I/O wait.
+// sharedRound runs one batch for every cohort session — build batches and
+// scoring passes alike — against a single physical columnar scan. Sessions
+// begin in id order; build batches that turn out not to be shareable after
+// scheduling execute solo inside Begin. The physical scan charges the
+// cohort's cursor open and page I/O once, to the fleet io meter, and every
+// participant's clock then absorbs that I/O wait.
 func (f *Fleet) sharedRound(cohort []*Session) error {
 	type part struct {
-		s  *Session
-		sb *mw.SharedBatch
+		s        *Session
+		sb       *mw.SharedBatch // build sessions
+		cons     *engine.ScanConsumer
+		needCols []int // nil = all columns
 	}
 	var parts []part
 	for _, s := range cohort {
+		if s.scorer != nil {
+			cons, needCols, err := s.scorer.BeginShared()
+			if err != nil {
+				return err
+			}
+			parts = append(parts, part{s: s, cons: cons, needCols: needCols})
+			continue
+		}
 		sb, results, err := s.m.BeginSharedBatch()
 		if err != nil {
 			return err
@@ -373,7 +450,7 @@ func (f *Fleet) sharedRound(cohort []*Session) error {
 			}
 			continue
 		}
-		parts = append(parts, part{s, sb})
+		parts = append(parts, part{s: s, sb: sb, cons: sb.Consumer(), needCols: sb.NeedCols()})
 	}
 	if len(parts) == 0 {
 		return nil
@@ -381,27 +458,20 @@ func (f *Fleet) sharedRound(cohort []*Session) error {
 
 	// The physical scan reads the union of the columns any participant
 	// needs; nil (all columns) from any participant forces a full read.
-	needCols := parts[0].sb.NeedCols()
-	union := needCols != nil
-	var need []bool
-	if union {
-		need = make([]bool, f.srv.Schema().NumCols())
-		for _, c := range needCols {
-			need[c] = true
+	union := true
+	need := make([]bool, f.srv.Schema().NumCols())
+	for _, p := range parts {
+		if p.needCols == nil {
+			union = false
+			break
 		}
-		for _, p := range parts[1:] {
-			cols := p.sb.NeedCols()
-			if cols == nil {
-				union = false
-				break
-			}
-			for _, c := range cols {
-				need[c] = true
-			}
+		for _, c := range p.needCols {
+			need[c] = true
 		}
 	}
 	var cols []int
 	if union {
+		cols = make([]int, 0, len(need)) // non-nil: an empty union reads no pages
 		for c, ok := range need {
 			if ok {
 				cols = append(cols, c)
@@ -411,13 +481,17 @@ func (f *Fleet) sharedRound(cohort []*Session) error {
 
 	cons := make([]*engine.ScanConsumer, len(parts))
 	for i, p := range parts {
-		cons[i] = p.sb.Consumer()
+		cons[i] = p.cons
 	}
 	ioStart := int64(f.io.Now())
 	f.srv.ScanColumnarShared(cons, cols, f.io)
 	ioElapsed := int64(f.io.Now()) - ioStart
 
 	for _, p := range parts {
+		if p.s.scorer != nil {
+			p.s.scorer.FinishShared(ioElapsed)
+			continue
+		}
 		results, err := p.sb.Finish(ioElapsed)
 		if err != nil {
 			return err

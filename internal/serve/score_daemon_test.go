@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"database/sql"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/mw"
+)
+
+// inProcessScoreArm builds a tree exactly like the daemon's fleet would,
+// compiles it, and scores the same table in-process with the vectorized
+// operator: the reference predictions and distributions for the wire arm.
+func inProcessScoreArm(t *testing.T, rows, workers int, opt dtree.Options) (*engine.Model, *engine.ScoreResult, []data.Value) {
+	t.Helper()
+	srv := testServer(t, rows)
+	mid, err := mw.New(srv, baseCfg(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	tree, err := dtree.Build(mid, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dtree.Compile(tree, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := srv.Engine()
+	if err := eng.RegisterModel(m); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := eng.Table("cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ScoreTable(tbl, m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-client row loop over the same table, as a second witness: a
+	// plain SELECT * returns rows in storage order.
+	rs, err := eng.Exec("SELECT * FROM cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := make([]data.Value, 0, len(rs.Rows))
+	for _, vr := range rs.Rows {
+		row := make(data.Row, len(vr))
+		for i, v := range vr {
+			row[i] = data.Value(v.I)
+		}
+		loop = append(loop, tree.Predict(row))
+	}
+	return m, res, loop
+}
+
+// TestDaemonScoringEquivalence is the wire leg of the scoring equivalence
+// spine: BUILD ... MODEL then SCORE TABLE over the stock database/sql driver
+// must stream exactly the class labels and per-class distributions the
+// in-process vectorized operator and the in-client tree walk produce — at
+// one, four and eight workers.
+func TestDaemonScoringEquivalence(t *testing.T) {
+	const rows = 1500
+	opt := dtree.Options{MaxDepth: 6, MinRows: 20}
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			model, res, loop := inProcessScoreArm(t, rows, workers, opt)
+			if int64(len(loop)) != res.Rows {
+				t.Fatalf("in-process witnesses disagree: %d loop rows, %d scored", len(loop), res.Rows)
+			}
+			for i := range loop {
+				if loop[i] != res.Classes[i] {
+					t.Fatalf("in-process witnesses disagree at row %d", i)
+				}
+			}
+
+			addr, stop := startDaemon(t, rows, workers, true)
+			defer stop()
+			db, err := sql.Open("ccsql", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			db.SetMaxOpenConns(1)
+
+			build := fmt.Sprintf("BUILD TREE MAXDEPTH %d MINROWS %d WORKERS %d MODEL m OUTPUT STATS",
+				opt.MaxDepth, opt.MinRows, workers)
+			if _, err := db.Exec(build); err != nil {
+				t.Fatalf("%s: %v", build, err)
+			}
+
+			wrows, err := db.Query(fmt.Sprintf("SCORE TABLE cases USING m WORKERS %d", workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer wrows.Close()
+			cols, err := wrows.Columns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 1 + model.Classes; len(cols) != want {
+				t.Fatalf("scored stream has %d columns, want %d (class + per-class counts)", len(cols), want)
+			}
+			i := 0
+			dest := make([]any, len(cols))
+			for di := range dest {
+				dest[di] = new(int64)
+			}
+			for wrows.Next() {
+				if err := wrows.Scan(dest...); err != nil {
+					t.Fatal(err)
+				}
+				if i >= len(loop) {
+					t.Fatalf("daemon streamed more than %d rows", len(loop))
+				}
+				if got := data.Value(*dest[0].(*int64)); got != loop[i] {
+					t.Fatalf("row %d: daemon class %d, in-process %d", i, got, loop[i])
+				}
+				dist := res.Dist(model, i)
+				for c := 0; c < model.Classes; c++ {
+					if got := *dest[1+c].(*int64); got != dist[c] {
+						t.Fatalf("row %d class %d: daemon count %d, in-process %d", i, c, got, dist[c])
+					}
+				}
+				i++
+			}
+			if err := wrows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(loop) {
+				t.Fatalf("daemon streamed %d rows, want %d", i, len(loop))
+			}
+		})
+	}
+}
+
+// TestDaemonModelRegistration pins that BUILD ... MODEL persists the model
+// as data: the catalog table is queryable over the same connection and holds
+// one row per tree node.
+func TestDaemonModelRegistration(t *testing.T) {
+	addr, stop := startDaemon(t, 1000, 1, true)
+	defer stop()
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	dump := queryStrings(t, db, "BUILD TREE MAXDEPTH 4 MINROWS 20 MODEL cat OUTPUT TREE")
+	if len(dump) < 2 {
+		t.Fatal("empty tree dump")
+	}
+	// The dump is one header line plus one line per node.
+	nodes := int64(len(dump) - 1)
+	var catRows int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM " + engine.ModelCatalogTable("cat")).Scan(&catRows); err != nil {
+		t.Fatal(err)
+	}
+	if catRows != nodes {
+		t.Errorf("catalog holds %d rows, tree dump has %d nodes", catRows, nodes)
+	}
+}
+
+// TestDaemonScoreUnknownModel pins per-request failure isolation: scoring
+// with an unregistered model errors that one statement and leaves the
+// connection usable.
+func TestDaemonScoreUnknownModel(t *testing.T) {
+	addr, stop := startDaemon(t, 800, 1, true)
+	defer stop()
+	db, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.Exec("SCORE TABLE cases USING nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("unknown-model error = %v, want it to name the model", err)
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM cases").Scan(&n); err != nil {
+		t.Fatalf("connection unusable after unknown-model error: %v", err)
+	}
+}
+
+// TestDaemonMixedCohort admits builds and scoring sessions to the same
+// fleet at once — the scan-sharing case the scheduler was extended for —
+// and checks every client still gets exactly its single-tenant answer.
+func TestDaemonMixedCohort(t *testing.T) {
+	const rows = 1200
+	opt := dtree.Options{MaxDepth: 6, MinRows: 20}
+	_, res, loop := inProcessScoreArm(t, rows, 1, opt)
+	wantTree, _ := inProcessArm(t, rows, 1, opt)
+	wantLines := wantTree.DumpLines()
+	_ = res
+
+	addr, stop := startDaemon(t, rows, 1, true)
+	defer stop()
+
+	// Register the model first, on its own connection.
+	setup, err := sql.Open("ccsql", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec("BUILD TREE MAXDEPTH 6 MINROWS 20 MODEL m OUTPUT STATS"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			db, err := sql.Open("ccsql", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer db.Close()
+			if c%2 == 0 {
+				got := make([]data.Value, 0, rows)
+				wrows, err := db.Query("SCORE TABLE cases USING m")
+				if err != nil {
+					errs <- fmt.Errorf("scorer %d: %w", c, err)
+					return
+				}
+				cols, err := wrows.Columns()
+				if err != nil {
+					errs <- err
+					return
+				}
+				dest := make([]any, len(cols))
+				for di := range dest {
+					dest[di] = new(int64)
+				}
+				for wrows.Next() {
+					if err := wrows.Scan(dest...); err != nil {
+						errs <- err
+						return
+					}
+					got = append(got, data.Value(*dest[0].(*int64)))
+				}
+				if err := wrows.Err(); err != nil {
+					errs <- fmt.Errorf("scorer %d: %w", c, err)
+					return
+				}
+				wrows.Close()
+				if len(got) != len(loop) {
+					errs <- fmt.Errorf("scorer %d: %d rows, want %d", c, len(got), len(loop))
+					return
+				}
+				for i := range got {
+					if got[i] != loop[i] {
+						errs <- fmt.Errorf("scorer %d: prediction %d differs from single-tenant scoring", c, i)
+						return
+					}
+				}
+			} else {
+				rows, err := db.Query("BUILD TREE MAXDEPTH 6 MINROWS 20 OUTPUT TREE")
+				if err != nil {
+					errs <- fmt.Errorf("builder %d: %w", c, err)
+					return
+				}
+				var got []string
+				for rows.Next() {
+					var s string
+					if err := rows.Scan(&s); err != nil {
+						errs <- err
+						return
+					}
+					got = append(got, s)
+				}
+				if err := rows.Err(); err != nil {
+					errs <- fmt.Errorf("builder %d: %w", c, err)
+					return
+				}
+				rows.Close()
+				if !equalLines(got, wantLines) {
+					errs <- fmt.Errorf("builder %d: tree differs from single-tenant build", c)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

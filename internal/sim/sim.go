@@ -57,6 +57,11 @@ type Costs struct {
 
 	// Client-side costs.
 	ClientRowLoad int64 // materialize one extracted row at the client (ExtractAll baseline)
+
+	// Scoring costs (the in-database prediction path; the in-client
+	// dtree.Evaluate loop never charges these).
+	ScoreRowEval   int64 // per-row fixed overhead of the vectorized scoring kernel
+	ModelNodeProbe int64 // walk one compiled-model node for one row (code-space compare)
 }
 
 // DefaultCosts returns the calibrated default cost model.
@@ -105,6 +110,13 @@ func DefaultCosts() Costs {
 		MergeEntry:   80, // per shard entry: one treap lookup/insert plus a count add
 
 		ClientRowLoad: 500,
+
+		// Scoring walks the compiled model in dictionary-code space: per row
+		// a fixed dispatch overhead plus one probe per visited node, each a
+		// uint16 compare — far below the per-row interpreter costs of the
+		// client loop (ClientRowLoad + RowTransmit per row).
+		ScoreRowEval:   100,
+		ModelNodeProbe: 40,
 	}
 }
 
@@ -134,6 +146,9 @@ const (
 	CtrColGroupsSkipped                 // columnar row groups skipped via zone maps
 	CtrColBlocks                        // columnar 1024-row blocks evaluated
 	CtrCCFolds                          // distinct histogram cells folded into CC treaps
+	CtrScoreRows                        // rows scored by the in-database prediction path
+	CtrScoreBlocks                      // columnar blocks pushed through the scoring kernel
+	CtrModelProbes                      // compiled-model nodes walked while scoring
 	numCounters
 )
 
@@ -159,6 +174,9 @@ var counterNames = [...]string{
 	CtrColGroupsSkipped:  "col_groups_skipped",
 	CtrColBlocks:         "col_blocks",
 	CtrCCFolds:           "cc_folds",
+	CtrScoreRows:         "score_rows",
+	CtrScoreBlocks:       "score_blocks",
+	CtrModelProbes:       "model_node_probes",
 }
 
 // Counters returns every counter in declaration order.

@@ -47,13 +47,37 @@ type AggExpr struct {
 	Arg  Expr
 }
 
-func (*ColumnRef) expr()  {}
-func (*IntLit) expr()     {}
-func (*StringLit) expr()  {}
-func (*BinaryExpr) expr() {}
-func (*NotExpr) expr()    {}
-func (*CountStar) expr()  {}
-func (*AggExpr) expr()    {}
+// WhenClause is one WHEN cond THEN result arm of a CASE expression.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE expression:
+// CASE WHEN c1 THEN r1 [WHEN c2 THEN r2 ...] [ELSE e] END.
+// A compiled decision tree is one of these, nested per internal node.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // nil when absent
+}
+
+// ClassifyExpr scores one row with a registered model:
+// CLASSIFY(model, a1, a2, ...). Args are the model's attribute columns in
+// training order.
+type ClassifyExpr struct {
+	Model string
+	Args  []Expr
+}
+
+func (*ColumnRef) expr()    {}
+func (*IntLit) expr()       {}
+func (*StringLit) expr()    {}
+func (*BinaryExpr) expr()   {}
+func (*NotExpr) expr()      {}
+func (*CountStar) expr()    {}
+func (*AggExpr) expr()      {}
+func (*CaseExpr) expr()     {}
+func (*ClassifyExpr) expr() {}
 
 func (e *ColumnRef) String() string { return e.Name }
 func (e *IntLit) String() string    { return fmt.Sprintf("%d", e.Val) }
@@ -66,6 +90,27 @@ func (e *BinaryExpr) String() string {
 func (e *NotExpr) String() string   { return fmt.Sprintf("(NOT %s)", e.E) }
 func (e *CountStar) String() string { return "COUNT(*)" }
 func (e *AggExpr) String() string   { return fmt.Sprintf("%s(%s)", e.Func, e.Arg) }
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", e.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+func (e *ClassifyExpr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CLASSIFY(%s", e.Model)
+	for _, a := range e.Args {
+		fmt.Fprintf(&b, ", %s", a)
+	}
+	b.WriteString(")")
+	return b.String()
+}
 
 // SelectItem is one projection: an expression with an optional alias, or *.
 type SelectItem struct {
@@ -283,3 +328,24 @@ type DropTable struct{ Name string }
 func (*DropTable) stmt() {}
 
 func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
+
+// ScoreTable is the batch scoring statement:
+// SCORE TABLE t USING model [WORKERS n].
+// It scores every row of t with the registered model through the engine's
+// vectorized scoring operator, returning one predicted class per row in heap
+// order. WORKERS caps the scan partitions (0 = engine default of 1).
+type ScoreTable struct {
+	Table   string
+	Model   string
+	Workers int
+}
+
+func (*ScoreTable) stmt() {}
+
+func (s *ScoreTable) String() string {
+	out := fmt.Sprintf("SCORE TABLE %s USING %s", s.Table, s.Model)
+	if s.Workers > 0 {
+		out += fmt.Sprintf(" WORKERS %d", s.Workers)
+	}
+	return out
+}

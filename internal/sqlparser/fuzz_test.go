@@ -1,6 +1,7 @@
 package sqlparser
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -21,6 +22,9 @@ func FuzzParse(f *testing.F) {
 		"select distinct a from t -- comment\n where a < 1 or b > 2",
 		"SELECT SUM(a), MIN(b), MAX(c), AVG(d) FROM t GROUP BY e",
 		"((((", "SELECT", "'", "\x00\xff", "WHERE WHERE WHERE",
+		"SELECT CASE WHEN a = 1 THEN 0 ELSE 1 END FROM t",
+		"SELECT CLASSIFY(m, a, b, c) FROM t",
+		"SCORE TABLE t USING m WORKERS 4",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -40,3 +44,40 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzClassifyParse drives the scoring grammar specifically: CASE
+// expressions, CLASSIFY() calls and SCORE TABLE statements, assembled from
+// fuzz-chosen fragments, must never panic the parser and must round-trip
+// whenever accepted.
+func FuzzClassifyParse(f *testing.F) {
+	f.Add("m", "a", int64(1), 4)
+	f.Add("model_1", "col", int64(-7), 0)
+	f.Add("", "", int64(0), -1)
+	f.Add("END", "WHEN", int64(9), 1<<30)
+	f.Add("m'); DROP TABLE t", "a.b.c", int64(1), 2)
+	f.Fuzz(func(t *testing.T, model, col string, val int64, workers int) {
+		stmts := []string{
+			"SELECT CLASSIFY(" + model + ", " + col + ") FROM t",
+			"SELECT CASE WHEN " + col + " = " + itoa(val) + " THEN 1 ELSE 0 END FROM t",
+			"SELECT CASE WHEN " + col + " = 1 THEN CLASSIFY(" + model + ", " + col + ") END FROM t",
+			"SCORE TABLE t USING " + model,
+			"SCORE TABLE " + col + " USING " + model + " WORKERS " + itoa(int64(workers)),
+		}
+		for _, sql := range stmts {
+			st, err := Parse(sql)
+			if err != nil {
+				continue // rejection is fine; panics are not
+			}
+			printed := st.String()
+			st2, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("accepted %q but rejected own rendering %q: %v", sql, printed, err)
+			}
+			if st2.String() != printed {
+				t.Fatalf("render not a fixed point: %q -> %q", printed, st2.String())
+			}
+		}
+	})
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }

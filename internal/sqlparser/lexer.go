@@ -58,7 +58,9 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true, "DROP": true, "INT": true,
 	"ASC": true, "DESC": true, "DELETE": true, "DISTINCT": true,
 	"VARCHAR": true, "NULL": true, "HAVING": true, "LIMIT": true, "AVG": true,
-	"JOIN": true, "INNER": true,
+	"JOIN": true, "INNER": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CLASSIFY": true, "SCORE": true,
+	"USING": true, "WORKERS": true,
 }
 
 type lexer struct {

@@ -95,8 +95,48 @@ func (p *parser) statement() (Statement, error) {
 		return p.deleteStmt()
 	case p.atKeyword("DROP"):
 		return p.dropStmt()
+	case p.atKeyword("SCORE"):
+		return p.scoreStmt()
 	}
 	return nil, p.errf("expected statement, found %q", p.tok.text)
+}
+
+// scoreStmt parses SCORE TABLE t USING model [WORKERS n].
+func (p *parser) scoreStmt() (Statement, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("USING"); err != nil {
+		return nil, err
+	}
+	model, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &ScoreTable{Table: table, Model: model}
+	if ok, err := p.acceptKeyword("WORKERS"); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.kind != tokInt {
+			return nil, p.errf("expected worker count, found %q", p.tok.text)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad worker count %q", p.tok.text)
+		}
+		s.Workers = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 func (p *parser) selectStmt() (Statement, error) {
@@ -454,6 +494,12 @@ func (p *parser) primary() (Expr, error) {
 		}
 		return &AggExpr{Func: fn, Arg: arg}, nil
 
+	case p.atKeyword("CASE"):
+		return p.caseExpr()
+
+	case p.atKeyword("CLASSIFY"):
+		return p.classifyExpr()
+
 	case p.tok.kind == tokIdent:
 		name := p.tok.text
 		if err := p.advance(); err != nil {
@@ -486,6 +532,83 @@ func (p *parser) primary() (Expr, error) {
 		return e, nil
 	}
 	return nil, p.errf("expected expression, found %q", p.tok.text)
+}
+
+// caseExpr parses a searched CASE:
+// CASE WHEN cond THEN result [WHEN ...] [ELSE result] END.
+func (p *parser) caseExpr() (Expr, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e := &CaseExpr{}
+	for {
+		ok, err := p.acceptKeyword("WHEN")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		e.Whens = append(e.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(e.Whens) == 0 {
+		return nil, p.errf("CASE needs at least one WHEN arm")
+	}
+	if ok, err := p.acceptKeyword("ELSE"); err != nil {
+		return nil, err
+	} else if ok {
+		if e.Else, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// classifyExpr parses CLASSIFY(model, arg1, arg2, ...).
+func (p *parser) classifyExpr() (Expr, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	model, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	e := &ClassifyExpr{Model: model}
+	for {
+		ok, err := p.acceptSymbol(",")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		e.Args = append(e.Args, arg)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 func (p *parser) createStmt() (Statement, error) {

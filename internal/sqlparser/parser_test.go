@@ -253,3 +253,83 @@ func TestParseHavingLimitAvg(t *testing.T) {
 		t.Error("bad LIMIT accepted")
 	}
 }
+
+func TestParseCaseExpr(t *testing.T) {
+	st := mustParse(t, "SELECT CASE WHEN a = 1 THEN 10 WHEN b = 2 THEN 20 ELSE 30 END FROM t")
+	s := st.(*Select)
+	ce, ok := s.Cores[0].Items[0].Expr.(*CaseExpr)
+	if !ok {
+		t.Fatalf("item = %T", s.Cores[0].Items[0].Expr)
+	}
+	if len(ce.Whens) != 2 || ce.Else == nil {
+		t.Fatalf("case = %+v", ce)
+	}
+	// Nested CASE (the compiled-tree shape) round-trips.
+	nested := "SELECT CASE WHEN a = 1 THEN CASE WHEN b = 2 THEN 0 ELSE 1 END ELSE 2 END FROM t"
+	printed := mustParse(t, nested).String()
+	if mustParse(t, printed).String() != printed {
+		t.Errorf("nested CASE round trip diverged: %s", printed)
+	}
+	// ELSE is optional; a WHEN-less CASE is not.
+	st2 := mustParse(t, "SELECT CASE WHEN a = 1 THEN 2 END FROM t")
+	if ce2 := st2.(*Select).Cores[0].Items[0].Expr.(*CaseExpr); ce2.Else != nil {
+		t.Error("absent ELSE parsed non-nil")
+	}
+	if _, err := Parse("SELECT CASE ELSE 1 END FROM t"); err == nil {
+		t.Error("CASE without WHEN accepted")
+	}
+	if _, err := Parse("SELECT CASE WHEN a = 1 THEN 2 FROM t"); err == nil {
+		t.Error("CASE without END accepted")
+	}
+}
+
+func TestParseClassify(t *testing.T) {
+	st := mustParse(t, "SELECT CLASSIFY(m, a, b + 1, 3) FROM t")
+	ce, ok := st.(*Select).Cores[0].Items[0].Expr.(*ClassifyExpr)
+	if !ok {
+		t.Fatalf("item = %T", st.(*Select).Cores[0].Items[0].Expr)
+	}
+	if ce.Model != "m" || len(ce.Args) != 3 {
+		t.Fatalf("classify = %+v", ce)
+	}
+	printed := st.String()
+	if mustParse(t, printed).String() != printed {
+		t.Errorf("round trip diverged: %s", printed)
+	}
+	// Zero-argument form parses (arity is the engine's concern).
+	st2 := mustParse(t, "SELECT CLASSIFY(m) FROM t")
+	if ce2 := st2.(*Select).Cores[0].Items[0].Expr.(*ClassifyExpr); len(ce2.Args) != 0 {
+		t.Errorf("args = %v", ce2.Args)
+	}
+	if _, err := Parse("SELECT CLASSIFY() FROM t"); err == nil {
+		t.Error("CLASSIFY without model accepted")
+	}
+}
+
+func TestParseScoreTable(t *testing.T) {
+	st := mustParse(t, "SCORE TABLE cases USING m1 WORKERS 4")
+	sc, ok := st.(*ScoreTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if sc.Table != "cases" || sc.Model != "m1" || sc.Workers != 4 {
+		t.Fatalf("score = %+v", sc)
+	}
+	if st.String() != "SCORE TABLE cases USING m1 WORKERS 4" {
+		t.Errorf("rendered %q", st.String())
+	}
+	st2 := mustParse(t, "SCORE TABLE cases USING m1")
+	if st2.(*ScoreTable).Workers != 0 {
+		t.Errorf("workers = %d", st2.(*ScoreTable).Workers)
+	}
+	for _, bad := range []string{
+		"SCORE cases USING m1",
+		"SCORE TABLE cases m1",
+		"SCORE TABLE cases USING m1 WORKERS 0",
+		"SCORE TABLE cases USING m1 WORKERS x",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

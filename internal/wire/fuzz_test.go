@@ -45,6 +45,20 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frameBytes(^uint32(0), 0xff, nil))
 	// Two frames back to back.
 	f.Add(append(append([]byte{}, zero.Bytes()...), valid.Bytes()...))
+	// Scored-batch frames: a well-formed one, one with a malformed model id
+	// (not JSON-escapable garbage in the name position), and a truncated
+	// distribution payload (header promises more bytes than follow).
+	var sb bytes.Buffer
+	_ = WriteFrame(&sb, TScoredBatch, ScoredBatch{
+		Model:   "m1",
+		Classes: []int32{0, 1, 1},
+		Dists:   [][]int64{{5, 1}, {0, 9}, {2, 2}},
+	})
+	f.Add(sb.Bytes())
+	f.Add(frameBytes(24, byte(TScoredBatch), []byte(`{"model":1,"classes":{}}`)))
+	var sbt bytes.Buffer
+	_ = WriteFrame(&sbt, TScoredBatch, ScoredBatch{Model: "m", Classes: []int32{1}, Dists: [][]int64{{1, 2}}})
+	f.Add(sbt.Bytes()[:len(sbt.Bytes())-7])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -89,6 +103,16 @@ func FuzzDecodeFrame(f *testing.F) {
 			_ = Unmarshal(payload, &Hello{})
 		case TRowBatch:
 			_ = Unmarshal(payload, &RowBatch{})
+		case TScoredBatch:
+			var sb ScoredBatch
+			if err := Unmarshal(payload, &sb); err == nil && len(sb.Dists) > 0 {
+				if len(sb.Dists) != len(sb.Classes) {
+					// Misaligned distributions decode (JSON cannot enforce
+					// the invariant); receivers must length-check, so the
+					// fuzz target does what a receiver does.
+					_ = sb
+				}
+			}
 		case TError:
 			_ = Unmarshal(payload, &Error{})
 		}

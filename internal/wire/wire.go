@@ -46,6 +46,10 @@ const (
 	TError
 	// TGoodbye announces an orderly client disconnect, no payload.
 	TGoodbye
+	// TScoredBatch carries up to BatchRows scored rows of a SCORE result
+	// stream, payload ScoredBatch. Streams end with TDone/TError like any
+	// other result.
+	TScoredBatch
 )
 
 // String names the frame type.
@@ -67,6 +71,8 @@ func (t Type) String() string {
 		return "error"
 	case TGoodbye:
 		return "goodbye"
+	case TScoredBatch:
+		return "scored-batch"
 	}
 	return fmt.Sprintf("type(%d)", byte(t))
 }
@@ -104,6 +110,15 @@ type Cell struct {
 // RowBatch carries a slice of a result stream.
 type RowBatch struct {
 	Rows [][]Cell `json:"rows"`
+}
+
+// ScoredBatch carries a slice of a scoring result stream: the model that
+// scored it, one predicted class label per row, and (when the client asked
+// for them) the per-row class-count distributions, aligned with Classes.
+type ScoredBatch struct {
+	Model   string    `json:"model"`
+	Classes []int32   `json:"classes"`
+	Dists   [][]int64 `json:"dists,omitempty"`
 }
 
 // Done terminates a successful result stream with its total row count.

@@ -55,6 +55,10 @@ gate "experiments -run columnar -check" go run ./cmd/experiments -run columnar -
 # at one client) and sharing must never slow makespan or per-session latency;
 # every session's tree is asserted identical to the single-tenant build.
 gate "experiments -run serve -check" go run ./cmd/experiments -run serve -scale 0.25 -check
+# Quarter-scale scoring shape check: the in-engine vectorized scoring
+# operator must beat the in-client cursor + tree-walk loop on virtual time,
+# rows/sec and modeled pages at every worker count, and scale with workers.
+gate "experiments -run scoring -check" go run ./cmd/experiments -run scoring -scale 0.25 -check
 # Quarter-scale perf-regression gate: profiles the fixed scenario set on the
 # virtual clock and compares each condensed metric against the committed
 # baseline in BENCH_history.json within a 10% tolerance band. Virtual time is
